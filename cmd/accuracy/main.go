@@ -1,0 +1,123 @@
+// Command accuracy reproduces Fig. 3: train the parallel scheme on
+// the Gaussian-pulse workload, predict one step ahead on validation
+// snapshots, and report the per-channel agreement between prediction
+// and target (density, pressure, velocity-x, velocity-y). It also
+// renders coarse ASCII heat maps of the predicted and target pressure
+// fields so the agreement is visible without a plotting stack.
+//
+// Usage:
+//
+//	accuracy -n 64 -snapshots 300 -epochs 40 -ranks 4
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/euler"
+	"repro/internal/grid"
+	"repro/internal/mpi"
+	"repro/internal/opt"
+	"repro/internal/stats"
+	"repro/internal/tensor"
+	"repro/internal/viz"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("accuracy: ")
+
+	var (
+		n      = flag.Int("n", 64, "grid points per direction (paper: 256)")
+		snaps  = flag.Int("snapshots", 300, "snapshots to generate (paper: 1500); enough for the wave to reflect within the training portion")
+		epochs = flag.Int("epochs", 40, "training epochs")
+		ranks  = flag.Int("ranks", 4, "number of subdomains/ranks")
+		lr     = flag.Float64("lr", 0.003, "learning rate (cosine-annealed)")
+		lossN  = flag.String("loss", "mape", "training loss")
+		maps   = flag.Bool("maps", true, "print ASCII field maps")
+	)
+	flag.Parse()
+
+	fmt.Printf("generating %d snapshots on %dx%d...\n", *snaps, *n, *n)
+	ds, err := dataset.Generate(dataset.GenConfig{Euler: euler.DefaultConfig(*n), NumSnapshots: *snaps})
+	if err != nil {
+		log.Fatal(err)
+	}
+	norm, err := dataset.FitMinMax(ds, 0.1, 0.9)
+	if err != nil {
+		log.Fatal(err)
+	}
+	nds := dataset.NormalizeDataset(ds, norm)
+	nTrain := nds.Len() * 2 / 3 // paper: 1000 of 1500
+	train, val, err := nds.Split(nTrain)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	px, py := mpi.BalancedDims(*ranks)
+	cfg := core.DefaultTrainConfig()
+	cfg.Epochs = *epochs
+	cfg.Loss = *lossN
+	cfg.LR = *lr
+	cfg.BatchSize = 4
+	cfg.Schedule = opt.Cosine{Base: *lr, Floor: *lr / 30, Total: *epochs}
+	fmt.Printf("training %d nets (%dx%d) for %d epochs with %s loss...\n", *ranks, px, py, *epochs, *lossN)
+	res, err := core.TrainParallel(train, px, py, cfg, core.CriticalPath)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("training done: critical path %.2fs, final losses ", res.CriticalPathSeconds)
+	for _, rr := range res.Ranks {
+		fmt.Printf("%.3g ", rr.FinalLoss())
+	}
+	fmt.Println()
+
+	// One-step prediction over the validation pairs (Fig. 3 protocol:
+	// "input and output data are chosen randomly from the validation
+	// data set" — we evaluate all pairs and report the mean, plus maps
+	// of one representative pair).
+	e := res.Ensemble()
+	valPairs := val.Pairs()
+	if len(valPairs) == 0 {
+		log.Fatal("no validation pairs; increase -snapshots")
+	}
+	agg := make([]*tensor.Tensor, 0, len(valPairs))
+	tgt := make([]*tensor.Tensor, 0, len(valPairs))
+	for _, pr := range valPairs {
+		pred, err := e.PredictOneStep(pr.Input)
+		if err != nil {
+			log.Fatal(err)
+		}
+		agg = append(agg, pred)
+		tgt = append(tgt, pr.Target)
+	}
+	predBatch := tensor.Stack(agg)
+	tgtBatch := tensor.Stack(tgt)
+	per := stats.PerChannel(predBatch, tgtBatch)
+
+	tbl := stats.NewTable(
+		fmt.Sprintf("Fig. 3 — one-step prediction vs target over %d validation pairs", len(valPairs)),
+		"channel", "mape[%]", "mse", "rmse", "linf", "r2")
+	for c, m := range per {
+		tbl.Add(grid.ChannelNames[c],
+			fmt.Sprintf("%.3f", m.MAPE), fmt.Sprintf("%.3e", m.MSE),
+			fmt.Sprintf("%.3e", m.RMSE), fmt.Sprintf("%.3e", m.Linf),
+			fmt.Sprintf("%.4f", m.R2))
+	}
+	fmt.Print(tbl.String())
+
+	if *maps {
+		mid := len(valPairs) / 2
+		fmt.Println("\npressure field, target (left) vs prediction (right):")
+		lines := viz.SideBySide(
+			viz.AsciiMap(tensor.Channel(tgtBatch, mid, grid.ChanPressure), 16, 32),
+			viz.AsciiMap(tensor.Channel(predBatch, mid, grid.ChanPressure), 16, 32),
+			"   |   ")
+		for _, l := range lines {
+			fmt.Println(l)
+		}
+	}
+}

@@ -1,0 +1,115 @@
+// Command inspect summarizes a dataset produced by cmd/datagen:
+// per-channel value ranges over time, acoustic energy decay, an ASCII
+// rendering of any snapshot, and optional PGM/PPM image export of the
+// physical fields.
+//
+// Usage:
+//
+//	inspect -data data.gob
+//	inspect -data data.gob -snapshot 100 -channel pressure -ppm out.ppm
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"os"
+
+	"repro/internal/dataset"
+	"repro/internal/grid"
+	"repro/internal/stats"
+	"repro/internal/tensor"
+	"repro/internal/viz"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("inspect: ")
+
+	var (
+		dataPath = flag.String("data", "data.gob", "dataset to inspect")
+		snapIdx  = flag.Int("snapshot", -1, "snapshot to render (-1 = middle)")
+		channel  = flag.String("channel", "pressure", "channel to render: density | pressure | velocity-x | velocity-y")
+		pgmPath  = flag.String("pgm", "", "write the rendered field as a PGM image")
+		ppmPath  = flag.String("ppm", "", "write the rendered field as a diverging-colormap PPM image")
+		every    = flag.Int("every", 0, "print range rows every N snapshots (0 = auto)")
+	)
+	flag.Parse()
+
+	ds, err := dataset.Load(*dataPath)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("dataset: %d snapshots on %dx%d, dt=%.6f (span %.3f time units)\n",
+		ds.Len(), ds.Grid.Nx, ds.Grid.Ny, ds.Dt, ds.Dt*float64(ds.Len()-1))
+
+	ch := -1
+	for c, name := range grid.ChannelNames {
+		if name == *channel {
+			ch = c
+		}
+	}
+	if ch < 0 {
+		log.Fatalf("unknown channel %q (want one of %v)", *channel, grid.ChannelNames)
+	}
+
+	// Per-channel range evolution.
+	step := *every
+	if step <= 0 {
+		step = ds.Len() / 8
+		if step == 0 {
+			step = 1
+		}
+	}
+	tbl := stats.NewTable("per-channel value ranges over time",
+		"snap", "time", "ρ' range", "p' range", "u' range", "v' range")
+	for i := 0; i < ds.Len(); i += step {
+		s := ds.Snapshots[i]
+		row := []string{fmt.Sprint(i), fmt.Sprintf("%.3f", float64(i)*ds.Dt)}
+		for c := 0; c < grid.NumChannels; c++ {
+			f := tensor.Channel(s.Reshape(1, s.Dim(0), s.Dim(1), s.Dim(2)), 0, c)
+			row = append(row, fmt.Sprintf("[%.3g,%.3g]", f.Min(), f.Max()))
+		}
+		tbl.Add(row...)
+	}
+	fmt.Print(tbl.String())
+
+	idx := *snapIdx
+	if idx < 0 {
+		idx = ds.Len() / 2
+	}
+	if idx >= ds.Len() {
+		log.Fatalf("snapshot %d out of range [0,%d)", idx, ds.Len())
+	}
+	s := ds.Snapshots[idx]
+	field := tensor.Channel(s.Reshape(1, s.Dim(0), s.Dim(1), s.Dim(2)), 0, ch)
+
+	fmt.Printf("\n%s at snapshot %d (t=%.3f), range [%.4g, %.4g]:\n",
+		grid.ChannelNames[ch], idx, float64(idx)*ds.Dt, field.Min(), field.Max())
+	for _, line := range viz.AsciiMap(field, 16, 32) {
+		fmt.Println(line)
+	}
+
+	if *pgmPath != "" {
+		if err := writeImage(*pgmPath, field, viz.WritePGM); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("wrote %s\n", *pgmPath)
+	}
+	if *ppmPath != "" {
+		if err := writeImage(*ppmPath, field, viz.WritePPMDiverging); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("wrote %s\n", *ppmPath)
+	}
+}
+
+func writeImage(path string, f *tensor.Tensor, render func(w io.Writer, f *tensor.Tensor) error) error {
+	file, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer file.Close()
+	return render(file, f)
+}

@@ -1,0 +1,89 @@
+// Command scaling reproduces Fig. 4: the strong-scaling study of the
+// parallel training scheme. A fixed global problem is trained with
+// P = 1, 4, 16, 64 ranks (configurable); per-rank compute times are
+// measured in isolation and the critical path max(t_r) is reported as
+// the parallel training time, together with speedup and efficiency
+// (see DESIGN.md §5 for why this timing model is exact for a
+// communication-free scheme).
+//
+// Usage:
+//
+//	scaling -n 64 -snapshots 60 -epochs 3 -ranks 1,4,16,64
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"strconv"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/euler"
+	"repro/internal/mpi"
+	"repro/internal/stats"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("scaling: ")
+
+	var (
+		n        = flag.Int("n", 64, "grid points per direction (paper: 256)")
+		snaps    = flag.Int("snapshots", 60, "snapshots to generate (paper: 1500)")
+		epochs   = flag.Int("epochs", 3, "training epochs per configuration")
+		batch    = flag.Int("batch", 8, "mini-batch size")
+		rankList = flag.String("ranks", "1,4,16,64", "comma-separated rank counts (paper: 1,4,16,64)")
+		csv      = flag.Bool("csv", false, "emit CSV instead of a table")
+	)
+	flag.Parse()
+
+	var ranks []int
+	for _, s := range strings.Split(*rankList, ",") {
+		v, err := strconv.Atoi(strings.TrimSpace(s))
+		if err != nil || v <= 0 {
+			log.Fatalf("bad rank count %q", s)
+		}
+		ranks = append(ranks, v)
+	}
+
+	fmt.Printf("generating %d snapshots on %dx%d...\n", *snaps, *n, *n)
+	ds, err := dataset.Generate(dataset.GenConfig{Euler: euler.DefaultConfig(*n), NumSnapshots: *snaps})
+	if err != nil {
+		log.Fatal(err)
+	}
+	norm, err := dataset.FitMinMax(ds, 0.1, 0.9)
+	if err != nil {
+		log.Fatal(err)
+	}
+	nds := dataset.NormalizeDataset(ds, norm)
+
+	cfg := core.DefaultTrainConfig()
+	cfg.Epochs = *epochs
+	cfg.BatchSize = *batch
+
+	var table stats.ScalingTable
+	for _, p := range ranks {
+		px, py := mpi.BalancedDims(p)
+		res, err := core.TrainParallel(nds, px, py, cfg, core.CriticalPath)
+		if err != nil {
+			log.Fatalf("P=%d: %v", p, err)
+		}
+		table.Add(p, res.CriticalPathSeconds)
+		fmt.Printf("P=%-3d (%dx%d): critical path %.3fs, total %.3fs, train comm msgs %d\n",
+			p, px, py, res.CriticalPathSeconds, res.TotalComputeSeconds, res.TrainCommStats.MessagesSent)
+	}
+
+	out := table.Render(fmt.Sprintf("Fig. 4 — strong scaling, %dx%d grid, %d training pairs, %d epochs",
+		*n, *n, nds.Len()-1, *epochs))
+	if *csv {
+		if err := out.WriteCSV(log.Writer()); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
+	fmt.Println()
+	fmt.Print(out.String())
+	fmt.Println("\npaper reference shape: T(1)≈4096s → T(64)≈64s on 256x256 / 1000 pairs — near-perfect 1/P")
+}

@@ -1,0 +1,206 @@
+// Command selfcheck verifies the numerical foundations of the library
+// on the current machine in a few seconds: the PDE solver against an
+// exact analytic solution, the convolution backward pass against an
+// independent autodiff oracle, the message-passing collectives against
+// serial reference results, and the decomposition's exact tiling.
+// It exits non-zero if any check fails.
+//
+// Usage:
+//
+//	selfcheck
+package main
+
+import (
+	"fmt"
+	"math"
+	"os"
+
+	"repro/internal/autodiff"
+	"repro/internal/decomp"
+	"repro/internal/euler"
+	"repro/internal/mpi"
+	"repro/internal/nn"
+	"repro/internal/tensor"
+)
+
+type check struct {
+	name string
+	run  func() error
+}
+
+func main() {
+	checks := []check{
+		{"euler solver vs analytic standing wave", checkSolverAnalytic},
+		{"conv backward vs autodiff oracle", checkConvGradients},
+		{"mpi collectives vs serial reference", checkCollectives},
+		{"domain decomposition tiles exactly", checkDecomposition},
+		{"training-stack determinism", checkDeterminism},
+	}
+	failed := 0
+	for _, c := range checks {
+		if err := c.run(); err != nil {
+			fmt.Printf("FAIL  %-40s %v\n", c.name, err)
+			failed++
+		} else {
+			fmt.Printf("ok    %s\n", c.name)
+		}
+	}
+	if failed > 0 {
+		fmt.Printf("%d check(s) failed\n", failed)
+		os.Exit(1)
+	}
+	fmt.Println("all checks passed")
+}
+
+func checkSolverAnalytic() error {
+	cfg := euler.DefaultConfig(64)
+	cfg.Boundary = euler.Periodic
+	cfg.Dissipation = 0
+	cfg.CFL = 0.2
+	s, err := euler.NewSolver(cfg)
+	if err != nil {
+		return err
+	}
+	s.SetStandingWaveIC(1, 1)
+	for s.Time < 0.4 {
+		s.Step()
+	}
+	exact := euler.StandingWavePressure(cfg, 1, 1, s.Time)
+	maxErr := 0.0
+	for i, v := range s.State.P {
+		if e := math.Abs(v - exact[i]); e > maxErr {
+			maxErr = e
+		}
+	}
+	if maxErr > 0.01*cfg.Amplitude {
+		return fmt.Errorf("max error %g exceeds 1%% of amplitude", maxErr)
+	}
+	return nil
+}
+
+func checkConvGradients() error {
+	const cin, cout, k, h, w = 2, 2, 3, 4, 5
+	g := tensor.NewRNG(99)
+	conv := nn.NewConv2D("c", g, cin, cout, k, 0)
+	x := tensor.Normal(g, 0, 1, 1, cin, h, w)
+
+	y := conv.Forward(x)
+	nn.ZeroGrads(conv)
+	dx := conv.Backward(y.Clone())
+
+	tp := autodiff.NewTape()
+	xv := make([]autodiff.Var, x.Size())
+	for i, v := range x.Data() {
+		xv[i] = tp.Value(v)
+	}
+	wt := conv.Weight().Value
+	wv := make([]autodiff.Var, wt.Size())
+	for i, v := range wt.Data() {
+		wv[i] = tp.Value(v)
+	}
+	bv := make([]autodiff.Var, cout)
+	for i, v := range conv.Bias().Value.Data() {
+		bv[i] = tp.Value(v)
+	}
+	oh, ow := h-k+1, w-k+1
+	var terms []autodiff.Var
+	for co := 0; co < cout; co++ {
+		for oy := 0; oy < oh; oy++ {
+			for ox := 0; ox < ow; ox++ {
+				acc := bv[co]
+				for ci := 0; ci < cin; ci++ {
+					for ky := 0; ky < k; ky++ {
+						for kx := 0; kx < k; kx++ {
+							xi := (ci*h+(oy+ky))*w + (ox + kx)
+							wi := ((co*cin+ci)*k+ky)*k + kx
+							acc = acc.Add(xv[xi].Mul(wv[wi]))
+						}
+					}
+				}
+				terms = append(terms, acc.Square().MulConst(0.5))
+			}
+		}
+	}
+	grads := tp.Gradients(autodiff.Sum(terms))
+	for i := range xv {
+		want := grads[xv[i].Index()]
+		if got := dx.Data()[i]; math.Abs(got-want) > 1e-9*(1+math.Abs(want)) {
+			return fmt.Errorf("input gradient %d: %g vs oracle %g", i, got, want)
+		}
+	}
+	for i := range wv {
+		want := grads[wv[i].Index()]
+		if got := conv.Weight().Grad.Data()[i]; math.Abs(got-want) > 1e-9*(1+math.Abs(want)) {
+			return fmt.Errorf("weight gradient %d: %g vs oracle %g", i, got, want)
+		}
+	}
+	return nil
+}
+
+func checkCollectives() error {
+	const p, n = 6, 10
+	want := make([]float64, n)
+	for r := 0; r < p; r++ {
+		for i := 0; i < n; i++ {
+			want[i] += float64(r*n + i)
+		}
+	}
+	var bad error
+	w := mpi.NewWorld(p)
+	err := w.Run(func(c *mpi.Comm) {
+		data := make([]float64, n)
+		for i := range data {
+			data[i] = float64(c.Rank()*n + i)
+		}
+		tree := c.Allreduce(data, mpi.OpSum)
+		ring := c.RingAllreduce(data, mpi.OpSum)
+		for i := 0; i < n; i++ {
+			if math.Abs(tree[i]-want[i]) > 1e-9 || math.Abs(ring[i]-want[i]) > 1e-9 {
+				bad = fmt.Errorf("allreduce mismatch at %d", i)
+			}
+		}
+	})
+	if err != nil {
+		return err
+	}
+	return bad
+}
+
+func checkDecomposition() error {
+	for _, pcount := range []int{1, 4, 6, 9, 16} {
+		px, py := mpi.BalancedDims(pcount)
+		part, err := decomp.NewPartition(48, 48, px, py)
+		if err != nil {
+			return err
+		}
+		owned := make([]int, 48*48)
+		for r := 0; r < part.Ranks(); r++ {
+			b := part.BlockOfRank(r)
+			for j := b.J0; j < b.J1; j++ {
+				for i := b.I0; i < b.I1; i++ {
+					owned[j*48+i]++
+				}
+			}
+		}
+		for k, c := range owned {
+			if c != 1 {
+				return fmt.Errorf("P=%d: point %d owned %d times", pcount, k, c)
+			}
+		}
+	}
+	return nil
+}
+
+func checkDeterminism() error {
+	g1 := tensor.Uniform(tensor.NewRNG(7), 0, 1, 100)
+	g2 := tensor.Uniform(tensor.NewRNG(7), 0, 1, 100)
+	if !g1.Equal(g2) {
+		return fmt.Errorf("seeded RNG not deterministic")
+	}
+	a := nn.NewConv2D("c", tensor.NewRNG(3), 2, 2, 3, 1)
+	b := nn.NewConv2D("c", tensor.NewRNG(3), 2, 2, 3, 1)
+	if !a.Weight().Value.Equal(b.Weight().Value) {
+		return fmt.Errorf("layer initialization not deterministic")
+	}
+	return nil
+}

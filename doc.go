@@ -1,0 +1,28 @@
+// Package repro is a from-scratch Go reproduction of "Parallel Machine
+// Learning of Partial Differential Equations" (Totounferoush, Ebrahimi
+// Pour, Roller, Mehl — PDSEC/IPDPS 2021, arXiv:2103.01869).
+//
+// The paper's contribution — communication-free parallel training of
+// per-subdomain CNN surrogates for PDE solvers, with point-to-point
+// halo exchange at inference time — lives in internal/core. Every
+// substrate it needs is implemented in this module:
+//
+//   - internal/tensor — dense float64 N-d tensors
+//   - internal/nn     — CNN layers with hand-derived backprop
+//   - internal/opt    — SGD / momentum / RMSProp / ADAM (paper Eq. 3–6)
+//   - internal/loss   — MSE / MAE / MAPE (paper Eq. 7) / SMAPE / Huber
+//   - internal/mpi    — goroutine message-passing runtime with MPI
+//     semantics (p2p, collectives, Cartesian topology, network model)
+//   - internal/grid, internal/euler — the linearized Euler solver
+//     standing in for Ateles (paper Eq. 8, §IV-A)
+//   - internal/decomp — the Fig. 2 domain decomposition
+//   - internal/dataset, internal/model, internal/stats — data pipeline,
+//     Table-I network builder, evaluation metrics
+//   - internal/autodiff — scalar reverse-mode AD, the oracle that
+//     cross-validates every hand-written backward pass
+//   - internal/viz — ASCII/PGM/PPM field rendering
+//
+// The benchmark harness in bench_test.go regenerates every table and
+// figure of the paper's evaluation; see DESIGN.md for the experiment
+// index and EXPERIMENTS.md for paper-vs-measured results.
+package repro

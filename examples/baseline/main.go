@@ -1,0 +1,95 @@
+// Baseline: the paper's scheme vs the Viviani-style data-parallel
+// weight-averaging baseline [4] it argues against (§I). Both train the
+// same workload for the same number of epochs; the comparison shows
+// the communication volumes (zero vs one allreduce per epoch) and the
+// resulting losses.
+//
+// Run with:
+//
+//	go run ./examples/baseline
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/euler"
+	"repro/internal/stats"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	const (
+		gridN  = 32
+		snaps  = 150 // include boundary reflections in training
+		epochs = 12
+		ranks  = 4
+	)
+	ds, err := dataset.Generate(dataset.GenConfig{Euler: euler.DefaultConfig(gridN), NumSnapshots: snaps})
+	if err != nil {
+		log.Fatal(err)
+	}
+	norm, err := dataset.FitMinMax(ds, 0.1, 0.9)
+	if err != nil {
+		log.Fatal(err)
+	}
+	nds := dataset.NormalizeDataset(ds, norm)
+	train, val, err := nds.Split(snaps * 2 / 3)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	cfg := core.DefaultTrainConfig()
+	cfg.Epochs = epochs
+	cfg.Loss = "mse"
+
+	fmt.Printf("training both schemes on %d ranks for %d epochs...\n\n", ranks, epochs)
+
+	ours, err := core.TrainParallel(train, 2, 2, cfg, core.CriticalPath)
+	if err != nil {
+		log.Fatal(err)
+	}
+	base, err := core.TrainDataParallel(train, ranks, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Validation error of each scheme's prediction.
+	pair := val.Pairs()[0]
+	ourPred, err := ours.Ensemble().PredictOneStep(pair.Input)
+	if err != nil {
+		log.Fatal(err)
+	}
+	ourErr := stats.Compute(ourPred, pair.Target)
+
+	c, h, w := pair.Input.Dim(0), pair.Input.Dim(1), pair.Input.Dim(2)
+	basePred := base.Model.Forward(pair.Input.Clone().Reshape(1, c, h, w)).Reshape(c, h, w)
+	baseErr := stats.Compute(basePred, pair.Target)
+
+	// Mean final training loss of our per-rank nets.
+	ourLoss := 0.0
+	for _, rr := range ours.Ranks {
+		ourLoss += rr.FinalLoss()
+	}
+	ourLoss /= float64(len(ours.Ranks))
+
+	tbl := stats.NewTable("domain-decomposed (paper §III) vs data-parallel averaging [4]",
+		"scheme", "train-msgs", "train-MB", "final-train-loss", "val-rmse")
+	tbl.Add("domain-decomposed (ours)",
+		fmt.Sprint(ours.TrainCommStats.MessagesSent),
+		fmt.Sprintf("%.2f", float64(ours.TrainCommStats.BytesSent)/1e6),
+		fmt.Sprintf("%.4g", ourLoss),
+		fmt.Sprintf("%.3e", ourErr.RMSE))
+	tbl.Add("data-parallel averaging",
+		fmt.Sprint(base.CommStats.MessagesSent),
+		fmt.Sprintf("%.2f", float64(base.CommStats.BytesSent)/1e6),
+		fmt.Sprintf("%.4g", base.FinalLoss()),
+		fmt.Sprintf("%.3e", baseErr.RMSE))
+	fmt.Print(tbl.String())
+	fmt.Println("\nthe paper's argument (§I): averaging alters the learning algorithm and")
+	fmt.Println("its global reductions are a bottleneck; the decomposition scheme trains")
+	fmt.Println("with zero messages and each net specializes on its subdomain.")
+}

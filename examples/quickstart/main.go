@@ -1,0 +1,87 @@
+// Quickstart: the smallest end-to-end run of the paper's scheme.
+//
+// It generates a short linearized-Euler simulation, trains four
+// independent subdomain CNNs in parallel (one per "MPI rank", §III),
+// predicts one step ahead on a validation snapshot, and prints the
+// per-channel agreement — a miniature of the paper's Fig. 3 protocol.
+//
+// Run with:
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/euler"
+	"repro/internal/grid"
+	"repro/internal/stats"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	// 1. Simulate: a Gaussian pressure pulse on a 32x32 grid
+	//    (the paper's §IV-A test case, scaled down). 150 snapshots let
+	//    the wave reflect off the boundaries a few times, so the
+	//    training portion covers the same dynamics as validation —
+	//    with fewer, validation would be out of distribution (see
+	//    EXPERIMENTS.md).
+	fmt.Println("1. generating simulation data (Ateles substitute)...")
+	ds, err := dataset.Generate(dataset.GenConfig{
+		Euler:        euler.DefaultConfig(32),
+		NumSnapshots: 150,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// 2. Normalize into a strictly positive range so the paper's MAPE
+	//    loss (Eq. 7) is well-conditioned, then split train/validation
+	//    like the paper (first 2/3 for training).
+	norm, err := dataset.FitMinMax(ds, 0.1, 0.9)
+	if err != nil {
+		log.Fatal(err)
+	}
+	nds := dataset.NormalizeDataset(ds, norm)
+	train, val, err := nds.Split(100)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// 3. Train the paper's scheme: a 2x2 process grid, one Table-I CNN
+	//    per subdomain, ADAM + MAPE, zero communication.
+	fmt.Println("2. training 4 independent subdomain networks...")
+	cfg := core.DefaultTrainConfig()
+	cfg.Epochs = 30
+	cfg.LR = 0.003
+	cfg.BatchSize = 4
+	res, err := core.TrainParallel(train, 2, 2, cfg, core.CriticalPath)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("   critical-path time %.2fs (sum over ranks %.2fs, speedup %.2fx)\n",
+		res.CriticalPathSeconds, res.TotalComputeSeconds, res.Speedup())
+	fmt.Printf("   messages exchanged during training: %d (the paper's central claim)\n",
+		res.TrainCommStats.MessagesSent)
+
+	// 4. Predict one step ahead on a validation snapshot and compare.
+	fmt.Println("3. one-step prediction on validation data...")
+	e := res.Ensemble()
+	pair := val.Pairs()[0]
+	pred, err := e.PredictOneStep(pair.Input)
+	if err != nil {
+		log.Fatal(err)
+	}
+	per := stats.PerChannel(pred, pair.Target)
+	tbl := stats.NewTable("per-channel one-step accuracy", "channel", "mape[%]", "rmse", "r2")
+	for c, m := range per {
+		tbl.Add(grid.ChannelNames[c], fmt.Sprintf("%.2f", m.MAPE),
+			fmt.Sprintf("%.2e", m.RMSE), fmt.Sprintf("%.4f", m.R2))
+	}
+	fmt.Print(tbl.String())
+	fmt.Println("done — see examples/aeroacoustics for the full workload.")
+}

@@ -1,0 +1,57 @@
+// Scaling: the Fig.-4 strong-scaling study as a runnable example.
+// A fixed training workload is split over more and more ranks; the
+// critical-path training time falls ≈ 1/P because the scheme never
+// communicates during training.
+//
+// Run with:
+//
+//	go run ./examples/scaling
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/euler"
+	"repro/internal/mpi"
+	"repro/internal/stats"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	const (
+		gridN  = 32
+		snaps  = 40
+		epochs = 2
+	)
+	fmt.Printf("fixed workload: %dx%d grid, %d training pairs, %d epochs\n",
+		gridN, gridN, snaps-1, epochs)
+	ds, err := dataset.Generate(dataset.GenConfig{Euler: euler.DefaultConfig(gridN), NumSnapshots: snaps})
+	if err != nil {
+		log.Fatal(err)
+	}
+	norm, err := dataset.FitMinMax(ds, 0.1, 0.9)
+	if err != nil {
+		log.Fatal(err)
+	}
+	nds := dataset.NormalizeDataset(ds, norm)
+
+	cfg := core.DefaultTrainConfig()
+	cfg.Epochs = epochs
+
+	var table stats.ScalingTable
+	for _, p := range []int{1, 4, 16} {
+		px, py := mpi.BalancedDims(p)
+		res, err := core.TrainParallel(nds, px, py, cfg, core.CriticalPath)
+		if err != nil {
+			log.Fatalf("P=%d: %v", p, err)
+		}
+		table.Add(p, res.CriticalPathSeconds)
+	}
+	fmt.Print(table.Render("strong scaling (critical-path timing, DESIGN.md §5)").String())
+	fmt.Println("\npaper's Fig. 4: near-perfect scaling 1 → 64 cores (4096s → 64s);")
+	fmt.Println("the same 1/P shape appears here because training is communication-free.")
+}

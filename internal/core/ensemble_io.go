@@ -1,0 +1,61 @@
+package core
+
+import (
+	"fmt"
+	"path/filepath"
+
+	"repro/internal/decomp"
+	"repro/internal/model"
+	"repro/internal/nn"
+)
+
+// SaveEnsemble writes one checkpoint per rank into dir (rank<N>.gob),
+// carrying the partition metadata LoadEnsemble needs.
+func SaveEnsemble(e *Ensemble, dir string) error {
+	if err := e.Validate(); err != nil {
+		return err
+	}
+	for r, m := range e.Models {
+		ck := model.Snapshot(e.ModelCfg, m)
+		ck.Rank = r
+		ck.Px, ck.Py = e.Partition.Px, e.Partition.Py
+		ck.Nx, ck.Ny = e.Partition.Nx, e.Partition.Ny
+		ck.Window = e.window()
+		if err := ck.Save(filepath.Join(dir, fmt.Sprintf("rank%d.gob", r))); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// LoadEnsemble reads the per-rank checkpoints written by SaveEnsemble
+// (or cmd/train) from dir and reassembles the inference ensemble.
+func LoadEnsemble(dir string) (*Ensemble, error) {
+	ck0, err := model.LoadCheckpoint(filepath.Join(dir, "rank0.gob"))
+	if err != nil {
+		return nil, err
+	}
+	p, err := decomp.NewPartition(ck0.Nx, ck0.Ny, ck0.Px, ck0.Py)
+	if err != nil {
+		return nil, fmt.Errorf("core: checkpoint metadata: %w", err)
+	}
+	e := &Ensemble{Partition: p, ModelCfg: ck0.Config, Window: ck0.Window, Models: make([]*nn.Sequential, p.Ranks())}
+	for r := 0; r < p.Ranks(); r++ {
+		ck, err := model.LoadCheckpoint(filepath.Join(dir, fmt.Sprintf("rank%d.gob", r)))
+		if err != nil {
+			return nil, err
+		}
+		if ck.Rank != r || ck.Px != p.Px || ck.Py != p.Py || ck.Nx != p.Nx || ck.Ny != p.Ny {
+			return nil, fmt.Errorf("core: checkpoint rank%d.gob metadata inconsistent with rank0", r)
+		}
+		m, err := ck.Restore()
+		if err != nil {
+			return nil, err
+		}
+		e.Models[r] = m
+	}
+	if err := e.Validate(); err != nil {
+		return nil, err
+	}
+	return e, nil
+}

@@ -1,0 +1,59 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/dataset"
+	"repro/internal/stats"
+	"repro/internal/tensor"
+)
+
+// EvaluateOneStep runs the ensemble's one-step prediction over every
+// admissible (history → next) pair of the dataset and returns the
+// per-channel metrics plus the all-channel aggregate — the Fig. 3
+// evaluation protocol as a library call. For temporal-window
+// ensembles the first Window-1 snapshots seed histories only.
+func EvaluateOneStep(e *Ensemble, ds *dataset.Dataset) (perChannel []stats.Metrics, overall stats.Metrics, err error) {
+	if err := e.Validate(); err != nil {
+		return nil, stats.Metrics{}, err
+	}
+	window := e.window()
+	if ds.Len() < window+1 {
+		return nil, stats.Metrics{}, fmt.Errorf("core: dataset of %d snapshots cannot evaluate window %d", ds.Len(), window)
+	}
+	var preds, tgts []*tensor.Tensor
+	for i := window - 1; i+1 < ds.Len(); i++ {
+		pred, err := e.PredictOneStepSeq(ds.Snapshots[i-window+1 : i+1])
+		if err != nil {
+			return nil, stats.Metrics{}, err
+		}
+		preds = append(preds, pred)
+		tgts = append(tgts, ds.Snapshots[i+1])
+	}
+	pb := tensor.Stack(preds)
+	tb := tensor.Stack(tgts)
+	return stats.PerChannel(pb, tb), stats.Compute(pb, tb), nil
+}
+
+// EvaluateRollout rolls the ensemble out over the dataset's trailing
+// snapshots and returns the per-step aggregate metrics: entry k
+// compares the k+1-step prediction against the true snapshot. The
+// rollout starts from the dataset's first Window snapshots.
+func EvaluateRollout(e *Ensemble, ds *dataset.Dataset, steps int) ([]stats.Metrics, error) {
+	if err := e.Validate(); err != nil {
+		return nil, err
+	}
+	window := e.window()
+	if ds.Len() < window+steps {
+		return nil, fmt.Errorf("core: dataset of %d snapshots cannot score a %d-step rollout with window %d", ds.Len(), steps, window)
+	}
+	roll, err := e.RolloutSeq(ds.Snapshots[:window], steps, nil)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]stats.Metrics, steps)
+	for k := 0; k < steps; k++ {
+		out[k] = stats.Compute(roll.Steps[k], ds.Snapshots[window+k])
+	}
+	return out, nil
+}

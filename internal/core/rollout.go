@@ -1,0 +1,313 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/decomp"
+	"repro/internal/model"
+	"repro/internal/mpi"
+	"repro/internal/nn"
+	"repro/internal/tensor"
+)
+
+// Ensemble is the set of trained per-subdomain networks plus the
+// partition they were trained on: the unit of parallel inference
+// (§III "Inference").
+type Ensemble struct {
+	Partition *decomp.Partition
+	ModelCfg  model.Config
+	Models    []*nn.Sequential
+	// Window is the temporal window the networks were trained with
+	// (0 or 1 = single frame). With Window = k, inference consumes the
+	// last k states stacked along the channel axis.
+	Window int
+}
+
+// window returns the effective temporal window (≥ 1).
+func (e *Ensemble) window() int {
+	if e.Window <= 1 {
+		return 1
+	}
+	return e.Window
+}
+
+// Validate reports structural problems.
+func (e *Ensemble) Validate() error {
+	if e.Partition == nil {
+		return fmt.Errorf("core: ensemble without partition")
+	}
+	if len(e.Models) != e.Partition.Ranks() {
+		return fmt.Errorf("core: ensemble has %d models for %d ranks", len(e.Models), e.Partition.Ranks())
+	}
+	for r, m := range e.Models {
+		if m == nil {
+			return fmt.Errorf("core: ensemble model %d is nil", r)
+		}
+	}
+	return nil
+}
+
+// RolloutResult carries the predictions of a multi-step parallel
+// rollout and its communication cost.
+type RolloutResult struct {
+	// Steps[k] is the predicted full-domain CHW state after k+1 steps.
+	Steps []*tensor.Tensor
+	// CommStats aggregates the halo-exchange and gather traffic.
+	CommStats mpi.CommStats
+	// HaloCommStats isolates the halo-exchange traffic (excluding the
+	// result gathers), the number the paper's §III discussion is
+	// about.
+	HaloCommStats mpi.CommStats
+}
+
+// haloTagBase separates rollout halo tags from other user tags.
+const haloTagBase = 300
+
+// exchangeHalo performs the two-phase halo exchange filling an
+// extended frame [1,C,h+2·halo,w+2·halo] around local [1,C,h,w]:
+// first west/east strips of the interior, then south/north strips of
+// the already-extended frame (which propagates corner data through the
+// cardinal neighbours — the standard structured-grid trick, keeping
+// communication fully point-to-point as §III requires). Boundary sides
+// without a neighbour stay zero, matching the zero padding used for
+// physical boundaries during training.
+func exchangeHalo(cart *mpi.Cart, local *tensor.Tensor, halo int) *tensor.Tensor {
+	c, h, w := local.Dim(1), local.Dim(2), local.Dim(3)
+	ext := tensor.New(1, c, h+2*halo, w+2*halo)
+	tensor.SetSubImage(ext, local, halo, halo)
+	comm := cart.Comm()
+
+	send := func(d mpi.Direction, strip *tensor.Tensor) {
+		if nb := cart.Neighbor(d); nb != mpi.NoNeighbor {
+			comm.Send(nb, haloTagBase+int(d), strip.Data())
+		}
+	}
+	recv := func(d mpi.Direction, rows, cols int) *tensor.Tensor {
+		nb := cart.Neighbor(d)
+		if nb == mpi.NoNeighbor {
+			return nil
+		}
+		data := comm.Recv(nb, haloTagBase+int(d.Opposite()))
+		if len(data) != c*rows*cols {
+			panic(fmt.Sprintf("core: halo message from %v has %d values, want %d", d, len(data), c*rows*cols))
+		}
+		return tensor.FromSlice(data, 1, c, rows, cols)
+	}
+
+	// Phase 1: west/east strips of the interior (h × halo).
+	send(mpi.West, tensor.SubImage(local, 0, h, 0, halo))
+	send(mpi.East, tensor.SubImage(local, 0, h, w-halo, w))
+	if s := recv(mpi.West, h, halo); s != nil {
+		tensor.SetSubImage(ext, s, halo, 0)
+	}
+	if s := recv(mpi.East, h, halo); s != nil {
+		tensor.SetSubImage(ext, s, halo, w+halo)
+	}
+
+	// Phase 2: south/north strips of the extended frame (halo × full
+	// width), carrying the phase-1 halos into the corners.
+	wext := w + 2*halo
+	send(mpi.South, tensor.SubImage(ext, halo, 2*halo, 0, wext))
+	send(mpi.North, tensor.SubImage(ext, h, h+halo, 0, wext))
+	if s := recv(mpi.South, halo, wext); s != nil {
+		tensor.SetSubImage(ext, s, 0, 0)
+	}
+	if s := recv(mpi.North, halo, wext); s != nil {
+		tensor.SetSubImage(ext, s, h+halo, 0)
+	}
+	return ext
+}
+
+// gatherTag marks result-gather messages.
+const gatherTag = 299
+
+// Rollout runs `steps` of parallel autoregressive inference from the
+// full-domain CHW state `initial`: each rank repeatedly predicts its
+// own subdomain, exchanging halo data point-to-point before each step
+// when the model strategy consumes a halo. Predictions are gathered on
+// rank 0 after every step. netModel (optional) prices the traffic for
+// the virtual-time accounting. For ensembles trained with a temporal
+// window > 1 use RolloutSeq, which takes the required history.
+//
+// The inner-crop strategy cannot roll out (its output is smaller than
+// its subdomain — the usability objection the paper raises against
+// approach 3) and returns an error.
+func (e *Ensemble) Rollout(initial *tensor.Tensor, steps int, netModel *mpi.NetModel) (*RolloutResult, error) {
+	return e.RolloutSeq([]*tensor.Tensor{initial}, steps, netModel)
+}
+
+// RolloutSeq is Rollout for temporal-window ensembles: initials must
+// hold at least Window consecutive full-domain states, oldest first;
+// the rollout continues from the last of them.
+func (e *Ensemble) RolloutSeq(initials []*tensor.Tensor, steps int, netModel *mpi.NetModel) (*RolloutResult, error) {
+	if err := e.Validate(); err != nil {
+		return nil, err
+	}
+	if steps <= 0 {
+		return nil, fmt.Errorf("core: non-positive rollout steps %d", steps)
+	}
+	window := e.window()
+	if len(initials) < window {
+		return nil, fmt.Errorf("core: rollout needs %d initial states for window %d, got %d", window, window, len(initials))
+	}
+	p := e.Partition
+	for _, st := range initials {
+		if st.Rank() != 3 || st.Dim(1) != p.Ny || st.Dim(2) != p.Nx {
+			return nil, fmt.Errorf("core: rollout initial state %v does not match grid %dx%d", st.Shape(), p.Nx, p.Ny)
+		}
+	}
+	if e.ModelCfg.Strategy == model.InnerCrop {
+		return nil, fmt.Errorf("core: the inner-crop strategy cannot roll out: its output omits the subdomain interface points (paper §III)")
+	}
+	halo := e.ModelCfg.Halo()
+	c := initials[0].Dim(0)
+
+	var opts []mpi.Option
+	if netModel != nil {
+		opts = append(opts, mpi.WithNetModel(netModel))
+	}
+	world := mpi.NewWorld(p.Ranks(), opts...)
+
+	// Pre-slice each rank's initial history. Initial states are fully
+	// known, so their halos come from direct slicing — no messages.
+	histories := make([][]*tensor.Tensor, p.Ranks())
+	for r := 0; r < p.Ranks(); r++ {
+		b := p.BlockOfRank(r)
+		h := make([]*tensor.Tensor, window)
+		for k := 0; k < window; k++ {
+			full := initials[len(initials)-window+k]
+			piece := p.SplitCHW(full, halo)[r]
+			h[k] = piece.Reshape(1, c, b.Height()+2*halo, b.Width()+2*halo)
+		}
+		histories[r] = h
+	}
+
+	res := &RolloutResult{Steps: make([]*tensor.Tensor, steps)}
+	var haloStats mpi.CommStats
+
+	err := world.Run(func(comm *mpi.Comm) {
+		r := comm.Rank()
+		cart := mpi.NewCart(comm, p.Px, p.Py, false)
+		b := p.BlockOfRank(r)
+		hist := histories[r] // extended frames, oldest first
+		net := e.Models[r]
+		for s := 0; s < steps; s++ {
+			in := hist[0]
+			if window > 1 {
+				in = tensor.ConcatChannels(hist...)
+			}
+			out := net.Forward(in)
+			if out.Dim(2) != b.Height() || out.Dim(3) != b.Width() {
+				panic(fmt.Sprintf("core: rank %d produced %v for block %v", r, out.Shape(), b))
+			}
+			// Extend the new frame with neighbour halos for the next
+			// step (the only genuine communication of the scheme).
+			next := out
+			if halo > 0 {
+				statsBefore := comm.Stats()
+				next = exchangeHalo(cart, out, halo)
+				statsAfter := comm.Stats()
+				if r == 0 {
+					haloStats.MessagesSent += statsAfter.MessagesSent - statsBefore.MessagesSent
+					haloStats.BytesSent += statsAfter.BytesSent - statsBefore.BytesSent
+					haloStats.MessagesRecv += statsAfter.MessagesRecv - statsBefore.MessagesRecv
+					haloStats.BytesRecv += statsAfter.BytesRecv - statsBefore.BytesRecv
+					haloStats.VirtualCommSeconds += statsAfter.VirtualCommSeconds - statsBefore.VirtualCommSeconds
+				}
+			}
+			hist = append(hist[1:], next)
+			// Gather this step's prediction on rank 0.
+			pieces := comm.Gather(0, out.Data())
+			if r == 0 {
+				parts := make([]*tensor.Tensor, p.Ranks())
+				for pr := range pieces {
+					pb := p.BlockOfRank(pr)
+					parts[pr] = tensor.FromSlice(pieces[pr], c, pb.Height(), pb.Width())
+				}
+				res.Steps[s] = p.GatherCHW(parts)
+			}
+		}
+	})
+	if err != nil {
+		return nil, err
+	}
+	res.CommStats = world.TotalStats()
+	res.HaloCommStats = haloStats
+	return res, nil
+}
+
+// PredictOneStep evaluates the ensemble on a known full-domain state
+// without any message passing: because the state at time t is fully
+// known, each rank's halo can be sliced directly. This is the §IV-B
+// one-step accuracy evaluation path (Fig. 3); use Rollout for
+// multi-step prediction where halos must genuinely be communicated.
+func (e *Ensemble) PredictOneStep(state *tensor.Tensor) (*tensor.Tensor, error) {
+	return e.PredictOneStepSeq([]*tensor.Tensor{state})
+}
+
+// PredictOneStepSeq is PredictOneStep for temporal-window ensembles:
+// states holds at least Window consecutive full-domain states, oldest
+// first; the prediction follows the last of them.
+func (e *Ensemble) PredictOneStepSeq(states []*tensor.Tensor) (*tensor.Tensor, error) {
+	if err := e.Validate(); err != nil {
+		return nil, err
+	}
+	window := e.window()
+	if len(states) < window {
+		return nil, fmt.Errorf("core: prediction needs %d states for window %d, got %d", window, window, len(states))
+	}
+	p := e.Partition
+	for _, st := range states {
+		if st.Rank() != 3 || st.Dim(1) != p.Ny || st.Dim(2) != p.Nx {
+			return nil, fmt.Errorf("core: state %v does not match grid %dx%d", st.Shape(), p.Nx, p.Ny)
+		}
+	}
+	if e.ModelCfg.Strategy == model.InnerCrop {
+		return nil, fmt.Errorf("core: inner-crop predictions omit interface points and cannot be reassembled")
+	}
+	halo := e.ModelCfg.Halo()
+	c := states[0].Dim(0)
+	parts := make([]*tensor.Tensor, p.Ranks())
+	for r := 0; r < p.Ranks(); r++ {
+		b := p.BlockOfRank(r)
+		he, we := b.Height()+2*halo, b.Width()+2*halo
+		frames := make([]*tensor.Tensor, window)
+		for k := 0; k < window; k++ {
+			full := states[len(states)-window+k]
+			frames[k] = p.SplitCHW(full, halo)[r].Reshape(1, c, he, we)
+		}
+		in4 := frames[0]
+		if window > 1 {
+			in4 = tensor.ConcatChannels(frames...)
+		}
+		out := e.Models[r].Forward(in4)
+		parts[r] = out.Reshape(c, b.Height(), b.Width())
+	}
+	return p.GatherCHW(parts), nil
+}
+
+// SerialRollout runs autoregressive inference with a single
+// whole-domain network, the P = 1 reference.
+func SerialRollout(net *nn.Sequential, cfg model.Config, initial *tensor.Tensor, steps int) ([]*tensor.Tensor, error) {
+	if cfg.Strategy == model.InnerCrop {
+		return nil, fmt.Errorf("core: inner-crop strategy cannot roll out")
+	}
+	if steps <= 0 {
+		return nil, fmt.Errorf("core: non-positive rollout steps %d", steps)
+	}
+	c, h, w := initial.Dim(0), initial.Dim(1), initial.Dim(2)
+	halo := cfg.Halo()
+	state := initial.Clone().Reshape(1, c, h, w)
+	out := make([]*tensor.Tensor, steps)
+	for s := 0; s < steps; s++ {
+		in := state
+		if halo > 0 {
+			// A single domain has no neighbours: zero-pad, exactly
+			// what the subdomain networks see at physical boundaries.
+			in = tensor.Pad2D(state, halo)
+		}
+		state = net.Forward(in)
+		out[s] = state.Clone().Reshape(c, h, w)
+	}
+	return out, nil
+}

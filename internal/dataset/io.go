@@ -1,0 +1,51 @@
+package dataset
+
+import (
+	"encoding/gob"
+	"fmt"
+	"os"
+
+	"repro/internal/grid"
+	"repro/internal/tensor"
+)
+
+// wireDataset is the gob wire format of a Dataset.
+type wireDataset struct {
+	Grid      grid.Grid
+	Dt        float64
+	Snapshots []*tensor.Tensor
+}
+
+// Save writes the dataset to path in gob format.
+func (d *Dataset) Save(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("dataset: save: %w", err)
+	}
+	defer f.Close()
+	enc := gob.NewEncoder(f)
+	if err := enc.Encode(wireDataset{Grid: d.Grid, Dt: d.Dt, Snapshots: d.Snapshots}); err != nil {
+		return fmt.Errorf("dataset: save %s: %w", path, err)
+	}
+	return nil
+}
+
+// Load reads a dataset written by Save.
+func Load(path string) (*Dataset, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("dataset: load: %w", err)
+	}
+	defer f.Close()
+	var w wireDataset
+	if err := gob.NewDecoder(f).Decode(&w); err != nil {
+		return nil, fmt.Errorf("dataset: load %s: %w", path, err)
+	}
+	d := &Dataset{Grid: w.Grid, Dt: w.Dt, Snapshots: w.Snapshots}
+	for i, s := range d.Snapshots {
+		if s == nil || s.Rank() != 3 {
+			return nil, fmt.Errorf("dataset: load %s: snapshot %d malformed", path, i)
+		}
+	}
+	return d, nil
+}

@@ -1,0 +1,46 @@
+package dataset
+
+import (
+	"fmt"
+
+	"repro/internal/decomp"
+	"repro/internal/tensor"
+)
+
+// WindowedSubdomainSamples builds per-rank training samples with a
+// temporal window: the input stacks the subdomain slices of `window`
+// consecutive snapshots (oldest first) along the channel axis, and the
+// target is the subdomain block of the following snapshot. This is the
+// lightweight realization of the paper's §V future-work direction —
+// feeding the network time-series so it can capture temporal
+// connectivity — without changing the convolutional architecture:
+// a window of k 4-channel states becomes one 4k-channel input.
+//
+// window = 1 reduces exactly to SubdomainSamples.
+func WindowedSubdomainSamples(d *Dataset, p *decomp.Partition, rank, halo, window int) []Sample {
+	if window <= 0 {
+		panic(fmt.Sprintf("dataset: non-positive temporal window %d", window))
+	}
+	if window == 1 {
+		return SubdomainSamples(d, p, rank, halo)
+	}
+	if d.Len() <= window {
+		return nil
+	}
+	out := make([]Sample, 0, d.Len()-window)
+	for i := window - 1; i+1 < d.Len(); i++ {
+		frames := make([]*tensor.Tensor, window)
+		for k := 0; k < window; k++ {
+			chw := sliceOne(d.Snapshots[i-window+1+k], p, rank, halo)
+			c, h, w := chw.Dim(0), chw.Dim(1), chw.Dim(2)
+			frames[k] = chw.Reshape(1, c, h, w)
+		}
+		in4 := tensor.ConcatChannels(frames...)
+		tgt := sliceOne(d.Snapshots[i+1], p, rank, 0)
+		out = append(out, Sample{
+			Input:  in4.Reshape(in4.Dim(1), in4.Dim(2), in4.Dim(3)),
+			Target: tgt,
+		})
+	}
+	return out
+}

@@ -1,0 +1,76 @@
+package dataset
+
+import (
+	"testing"
+
+	"repro/internal/decomp"
+	"repro/internal/grid"
+)
+
+func TestWindowedSamplesShapes(t *testing.T) {
+	d := smallGen(t, 16, 8)
+	p, _ := decomp.NewPartition(16, 16, 2, 2)
+	samples := WindowedSubdomainSamples(d, p, 0, 2, 3)
+	// 8 snapshots, window 3: targets are snapshots 3..7 → 5 samples.
+	if len(samples) != 5 {
+		t.Fatalf("samples = %d, want 5", len(samples))
+	}
+	for _, s := range samples {
+		if s.Input.Dim(0) != 3*grid.NumChannels {
+			t.Fatalf("input channels %d, want %d", s.Input.Dim(0), 3*grid.NumChannels)
+		}
+		if s.Input.Dim(1) != 12 || s.Input.Dim(2) != 12 {
+			t.Fatalf("input spatial %v", s.Input.Shape())
+		}
+		if s.Target.Dim(0) != grid.NumChannels || s.Target.Dim(1) != 8 {
+			t.Fatalf("target shape %v", s.Target.Shape())
+		}
+	}
+}
+
+func TestWindowOneEquivalent(t *testing.T) {
+	d := smallGen(t, 16, 5)
+	p, _ := decomp.NewPartition(16, 16, 2, 1)
+	a := SubdomainSamples(d, p, 1, 2)
+	b := WindowedSubdomainSamples(d, p, 1, 2, 1)
+	if len(a) != len(b) {
+		t.Fatalf("lengths differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if !a[i].Input.Equal(b[i].Input) || !a[i].Target.Equal(b[i].Target) {
+			t.Fatalf("sample %d differs", i)
+		}
+	}
+}
+
+func TestWindowedOrderingOldestFirst(t *testing.T) {
+	d := smallGen(t, 16, 6)
+	p, _ := decomp.NewPartition(16, 16, 1, 1)
+	samples := WindowedSubdomainSamples(d, p, 0, 0, 2)
+	// First sample: frames = snapshots 0 (oldest) and 1; target = 2.
+	s := samples[0]
+	// Channels 0..3 = snapshot 0, channels 4..7 = snapshot 1.
+	if s.Input.At(0, 5, 5) != d.Snapshots[0].At(0, 5, 5) {
+		t.Fatalf("first frame is not the oldest snapshot")
+	}
+	if s.Input.At(4, 5, 5) != d.Snapshots[1].At(0, 5, 5) {
+		t.Fatalf("second frame is not the next snapshot")
+	}
+	if !s.Target.Equal(d.Snapshots[2]) {
+		t.Fatalf("target is not the following snapshot")
+	}
+}
+
+func TestWindowedTooFewSnapshots(t *testing.T) {
+	d := smallGen(t, 16, 3)
+	p, _ := decomp.NewPartition(16, 16, 1, 1)
+	if got := WindowedSubdomainSamples(d, p, 0, 0, 3); got != nil {
+		t.Fatalf("expected nil for too-short dataset, got %d samples", len(got))
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("non-positive window must panic")
+		}
+	}()
+	WindowedSubdomainSamples(d, p, 0, 0, 0)
+}

@@ -1,0 +1,171 @@
+package grid
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/tensor"
+)
+
+func TestGridGeometry(t *testing.T) {
+	g := NewUnitSquare(100)
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(g.Dx()-0.02) > 1e-15 || math.Abs(g.Dy()-0.02) > 1e-15 {
+		t.Fatalf("spacing = %g, %g", g.Dx(), g.Dy())
+	}
+	if g.Points() != 10000 {
+		t.Fatalf("Points = %d", g.Points())
+	}
+	// Cell centers: first at X0+dx/2, last at X1-dx/2.
+	if math.Abs(g.XAt(0)-(-0.99)) > 1e-12 || math.Abs(g.XAt(99)-0.99) > 1e-12 {
+		t.Fatalf("XAt ends = %g, %g", g.XAt(0), g.XAt(99))
+	}
+	// Symmetric about zero.
+	if math.Abs(g.XAt(49)+g.XAt(50)) > 1e-12 {
+		t.Fatalf("grid not symmetric")
+	}
+}
+
+func TestGridValidate(t *testing.T) {
+	bad := []Grid{
+		{Nx: 1, Ny: 4, X0: 0, X1: 1, Y0: 0, Y1: 1},
+		{Nx: 4, Ny: 4, X0: 1, X1: 1, Y0: 0, Y1: 1},
+		{Nx: 4, Ny: 4, X0: 0, X1: 1, Y0: 2, Y1: 1},
+	}
+	for i, g := range bad {
+		if err := g.Validate(); err == nil {
+			t.Errorf("case %d: bad grid accepted", i)
+		}
+	}
+}
+
+func TestSubGrid(t *testing.T) {
+	g := NewUnitSquare(8)
+	s := g.Sub(2, 6, 0, 4)
+	if s.Nx != 4 || s.Ny != 4 {
+		t.Fatalf("sub size = %dx%d", s.Nx, s.Ny)
+	}
+	// The subgrid's point (0,0) must coincide with g's point (0,2).
+	if math.Abs(s.XAt(0)-g.XAt(2)) > 1e-12 || math.Abs(s.YAt(0)-g.YAt(0)) > 1e-12 {
+		t.Fatalf("sub origin mismatch: %g vs %g", s.XAt(0), g.XAt(2))
+	}
+	if math.Abs(s.Dx()-g.Dx()) > 1e-15 {
+		t.Fatalf("sub spacing changed")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("invalid subgrid must panic")
+		}
+	}()
+	g.Sub(5, 3, 0, 4)
+}
+
+// Property: Sub preserves spacing and point coordinates for any
+// valid window.
+func TestQuickSubGridCoordinates(t *testing.T) {
+	f := func(i0Raw, j0Raw, wRaw, hRaw uint8) bool {
+		g := NewUnitSquare(16)
+		i0 := int(i0Raw % 12)
+		j0 := int(j0Raw % 12)
+		w := int(wRaw%4) + 1
+		h := int(hRaw%4) + 1
+		s := g.Sub(i0, i0+w, j0, j0+h)
+		for di := 0; di < w; di++ {
+			if math.Abs(s.XAt(di)-g.XAt(i0+di)) > 1e-12 {
+				return false
+			}
+		}
+		for dj := 0; dj < h; dj++ {
+			if math.Abs(s.YAt(dj)-g.YAt(j0+dj)) > 1e-12 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFieldAccess(t *testing.T) {
+	g := NewUnitSquare(4)
+	f := NewField(g, 3)
+	f.Set(7, 2, 1, 3)
+	if f.At(2, 1, 3) != 7 {
+		t.Fatalf("Field At/Set broken")
+	}
+	if len(f.Data()) != 3*16 {
+		t.Fatalf("Field data length %d", len(f.Data()))
+	}
+	cs := f.ChannelSlice(2)
+	if cs[1*4+3] != 7 {
+		t.Fatalf("ChannelSlice misaligned")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("out-of-range access must panic")
+		}
+	}()
+	f.At(3, 0, 0)
+}
+
+func TestFieldTensorRoundTrip(t *testing.T) {
+	g := NewUnitSquare(5)
+	f := NewField(g, NumChannels)
+	for c := 0; c < NumChannels; c++ {
+		for j := 0; j < 5; j++ {
+			for i := 0; i < 5; i++ {
+				f.Set(float64(c*100+j*10+i), c, j, i)
+			}
+		}
+	}
+	tt := f.ToTensor()
+	if tt.Rank() != 3 || tt.Dim(0) != NumChannels || tt.Dim(1) != 5 || tt.Dim(2) != 5 {
+		t.Fatalf("tensor shape %v", tt.Shape())
+	}
+	if tt.At(2, 3, 4) != 234 {
+		t.Fatalf("tensor value mismatch")
+	}
+	f2 := NewField(g, NumChannels)
+	f2.FromTensor(tt)
+	for i, v := range f.Data() {
+		if f2.Data()[i] != v {
+			t.Fatalf("round trip mismatch at %d", i)
+		}
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("FromTensor shape mismatch must panic")
+		}
+	}()
+	f2.FromTensor(tensor.New(2, 5, 5))
+}
+
+func TestFieldClone(t *testing.T) {
+	g := NewUnitSquare(3)
+	f := NewField(g, 1)
+	f.Set(1, 0, 0, 0)
+	c := f.Clone()
+	c.Set(2, 0, 0, 0)
+	if f.At(0, 0, 0) != 1 {
+		t.Fatalf("Clone aliases data")
+	}
+}
+
+func TestChannelConstants(t *testing.T) {
+	if NumChannels != 4 {
+		t.Fatalf("NumChannels = %d", NumChannels)
+	}
+	seen := map[int]bool{ChanDensity: true, ChanPressure: true, ChanVelX: true, ChanVelY: true}
+	if len(seen) != 4 {
+		t.Fatalf("channel indices collide")
+	}
+	for _, n := range ChannelNames {
+		if n == "" {
+			t.Fatalf("empty channel name")
+		}
+	}
+}

@@ -1,0 +1,197 @@
+// Package loss implements the regression losses discussed in §II of
+// the paper: mean squared error, mean absolute error, the mean
+// absolute percentage error the paper selects (Eq. 7, "better suited
+// for our specific application" because field magnitudes differ),
+// plus SMAPE and Huber for the loss ablation.
+//
+// Every loss returns both the scalar value and dL/d(prediction) in one
+// pass, the contract the training loop consumes.
+package loss
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/tensor"
+)
+
+// Loss evaluates a scalar training objective and its gradient with
+// respect to the prediction.
+type Loss interface {
+	// Eval returns L(pred, target) and dL/dpred (a new tensor of
+	// pred's shape).
+	Eval(pred, target *tensor.Tensor) (float64, *tensor.Tensor)
+	// Name identifies the loss for logs and tables.
+	Name() string
+}
+
+func checkShapes(pred, target *tensor.Tensor, name string) int {
+	if !pred.SameShape(target) {
+		panic(fmt.Sprintf("loss: %s shape mismatch pred %v vs target %v", name, pred.Shape(), target.Shape()))
+	}
+	n := pred.Size()
+	if n == 0 {
+		panic(fmt.Sprintf("loss: %s on empty tensors", name))
+	}
+	return n
+}
+
+// MSE is the mean squared error L = (1/m)Σ(p-t)².
+type MSE struct{}
+
+// Name implements Loss.
+func (MSE) Name() string { return "mse" }
+
+// Eval implements Loss.
+func (MSE) Eval(pred, target *tensor.Tensor) (float64, *tensor.Tensor) {
+	n := checkShapes(pred, target, "MSE")
+	grad := tensor.New(pred.Shape()...)
+	pd, td, gd := pred.Data(), target.Data(), grad.Data()
+	inv := 1.0 / float64(n)
+	l := 0.0
+	for i := range pd {
+		d := pd[i] - td[i]
+		l += d * d * inv
+		gd[i] = 2 * d * inv
+	}
+	return l, grad
+}
+
+// MAE is the mean absolute error L = (1/m)Σ|p-t|.
+type MAE struct{}
+
+// Name implements Loss.
+func (MAE) Name() string { return "mae" }
+
+// Eval implements Loss. The subgradient at p == t is 0.
+func (MAE) Eval(pred, target *tensor.Tensor) (float64, *tensor.Tensor) {
+	n := checkShapes(pred, target, "MAE")
+	grad := tensor.New(pred.Shape()...)
+	pd, td, gd := pred.Data(), target.Data(), grad.Data()
+	inv := 1.0 / float64(n)
+	l := 0.0
+	for i := range pd {
+		d := pd[i] - td[i]
+		l += math.Abs(d) * inv
+		gd[i] = sign(d) * inv
+	}
+	return l, grad
+}
+
+// MAPE is the paper's Eq. (7): L = (100/m)Σ|(p-t)/t|, reported in
+// percent. Eps guards the division for targets near zero — the
+// velocity channels of the Euler fields start at exactly zero, where
+// the raw MAPE is singular. The guard replaces |t| with max(|t|, Eps)
+// in the denominator.
+type MAPE struct {
+	// Eps is the denominator floor; NewMAPE defaults it to 1e-8.
+	Eps float64
+}
+
+// NewMAPE builds the paper's loss with the default denominator floor.
+func NewMAPE() MAPE { return MAPE{Eps: 1e-8} }
+
+// Name implements Loss.
+func (MAPE) Name() string { return "mape" }
+
+// Eval implements Loss.
+func (m MAPE) Eval(pred, target *tensor.Tensor) (float64, *tensor.Tensor) {
+	n := checkShapes(pred, target, "MAPE")
+	eps := m.Eps
+	if eps <= 0 {
+		eps = 1e-8
+	}
+	grad := tensor.New(pred.Shape()...)
+	pd, td, gd := pred.Data(), target.Data(), grad.Data()
+	scale := 100.0 / float64(n)
+	l := 0.0
+	for i := range pd {
+		den := math.Abs(td[i])
+		if den < eps {
+			den = eps
+		}
+		d := pd[i] - td[i]
+		l += math.Abs(d) / den * scale
+		gd[i] = sign(d) / den * scale
+	}
+	return l, grad
+}
+
+// SMAPE is the symmetric MAPE L = (100/m)Σ |p-t| / ((|p|+|t|)/2 + eps),
+// a common fix for MAPE's asymmetry, included for the loss ablation.
+type SMAPE struct {
+	Eps float64
+}
+
+// NewSMAPE builds a SMAPE loss with the default floor.
+func NewSMAPE() SMAPE { return SMAPE{Eps: 1e-8} }
+
+// Name implements Loss.
+func (SMAPE) Name() string { return "smape" }
+
+// Eval implements Loss.
+func (s SMAPE) Eval(pred, target *tensor.Tensor) (float64, *tensor.Tensor) {
+	n := checkShapes(pred, target, "SMAPE")
+	eps := s.Eps
+	if eps <= 0 {
+		eps = 1e-8
+	}
+	grad := tensor.New(pred.Shape()...)
+	pd, td, gd := pred.Data(), target.Data(), grad.Data()
+	scale := 100.0 / float64(n)
+	l := 0.0
+	for i := range pd {
+		num := math.Abs(pd[i] - td[i])
+		den := (math.Abs(pd[i])+math.Abs(td[i]))/2 + eps
+		l += num / den * scale
+		// d/dp [ |p-t| / ((|p|+|t|)/2+eps) ] =
+		//   sign(p-t)/den - |p-t|·sign(p)/(2·den²)
+		gd[i] = scale * (sign(pd[i]-td[i])/den - num*sign(pd[i])/(2*den*den))
+	}
+	return l, grad
+}
+
+// Huber is the smooth L1 loss with transition point Delta.
+type Huber struct {
+	Delta float64
+}
+
+// NewHuber builds a Huber loss with the conventional δ = 1.
+func NewHuber() Huber { return Huber{Delta: 1} }
+
+// Name implements Loss.
+func (Huber) Name() string { return "huber" }
+
+// Eval implements Loss.
+func (h Huber) Eval(pred, target *tensor.Tensor) (float64, *tensor.Tensor) {
+	n := checkShapes(pred, target, "Huber")
+	delta := h.Delta
+	if delta <= 0 {
+		delta = 1
+	}
+	grad := tensor.New(pred.Shape()...)
+	pd, td, gd := pred.Data(), target.Data(), grad.Data()
+	inv := 1.0 / float64(n)
+	l := 0.0
+	for i := range pd {
+		d := pd[i] - td[i]
+		if a := math.Abs(d); a <= delta {
+			l += 0.5 * d * d * inv
+			gd[i] = d * inv
+		} else {
+			l += delta * (a - 0.5*delta) * inv
+			gd[i] = delta * sign(d) * inv
+		}
+	}
+	return l, grad
+}
+
+func sign(v float64) float64 {
+	switch {
+	case v > 0:
+		return 1
+	case v < 0:
+		return -1
+	}
+	return 0
+}

@@ -1,0 +1,75 @@
+package model
+
+import (
+	"encoding/gob"
+	"fmt"
+	"os"
+
+	"repro/internal/nn"
+	"repro/internal/tensor"
+)
+
+// Checkpoint is the on-disk representation of one trained
+// per-subdomain network (or, for the parallel scheme, one of many —
+// cmd/train writes one checkpoint per rank).
+type Checkpoint struct {
+	Config Config
+	State  map[string]*tensor.Tensor
+	// Rank and process-grid metadata let inference reassemble the
+	// ensemble of subdomain networks.
+	Rank   int
+	Px, Py int
+	// Nx, Ny record the global grid the ensemble was trained for.
+	Nx, Ny int
+	// Window is the temporal window the network consumes (0/1 =
+	// single frame).
+	Window int
+}
+
+// Save writes the checkpoint to path in gob format.
+func (ck *Checkpoint) Save(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("model: checkpoint save: %w", err)
+	}
+	defer f.Close()
+	if err := gob.NewEncoder(f).Encode(ck); err != nil {
+		return fmt.Errorf("model: checkpoint save %s: %w", path, err)
+	}
+	return nil
+}
+
+// LoadCheckpoint reads a checkpoint written by Save.
+func LoadCheckpoint(path string) (*Checkpoint, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("model: checkpoint load: %w", err)
+	}
+	defer f.Close()
+	var ck Checkpoint
+	if err := gob.NewDecoder(f).Decode(&ck); err != nil {
+		return nil, fmt.Errorf("model: checkpoint load %s: %w", path, err)
+	}
+	if err := ck.Config.Validate(); err != nil {
+		return nil, fmt.Errorf("model: checkpoint %s: %w", path, err)
+	}
+	return &ck, nil
+}
+
+// Snapshot captures a model into a checkpoint (without rank metadata).
+func Snapshot(cfg Config, m nn.Layer) *Checkpoint {
+	return &Checkpoint{Config: cfg, State: nn.StateDict(m)}
+}
+
+// Restore rebuilds the model from the checkpoint's config and loads
+// its weights.
+func (ck *Checkpoint) Restore() (*nn.Sequential, error) {
+	m, err := Build(ck.Config)
+	if err != nil {
+		return nil, err
+	}
+	if err := nn.LoadStateDict(m, ck.State); err != nil {
+		return nil, err
+	}
+	return m, nil
+}

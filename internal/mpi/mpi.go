@@ -1,0 +1,330 @@
+// Package mpi implements a small message-passing runtime with MPI-like
+// semantics on top of goroutines and channels. It is the communication
+// substrate for the parallel training and inference schemes in this
+// repository, standing in for the MPI library used by the paper.
+//
+// A World holds a fixed number of ranks. World.Run launches one
+// goroutine per rank and hands each a *Comm, which supports tagged
+// blocking point-to-point messages (Send/Recv with AnySource/AnyTag
+// wildcards and MPI's non-overtaking guarantee per (source, tag) pair),
+// non-blocking variants (Isend/Irecv returning a Request), and the
+// usual collectives (Barrier, Bcast, Reduce, Allreduce, Gather,
+// Allgather, Scatter) implemented with binomial-tree and
+// recursive-doubling algorithms on top of the point-to-point layer —
+// the same structure a real MPI implementation uses.
+//
+// Because the transport is shared memory, real wire time is near zero;
+// an optional NetModel charges each message a configurable
+// latency + size/bandwidth virtual cost, accumulated per rank, so that
+// experiments can report communication costs representative of a
+// cluster interconnect (see DESIGN.md §5).
+package mpi
+
+import (
+	"fmt"
+	"sync"
+)
+
+// AnySource matches messages from any sender in Recv.
+const AnySource = -1
+
+// AnyTag matches messages with any tag in Recv.
+const AnyTag = -1
+
+// Internal tag space for collectives. User tags must be small
+// non-negative integers; collective tags live far above them.
+const (
+	tagBarrier = 1 << 30
+	tagBcast   = 1<<30 + 1
+	tagReduce  = 1<<30 + 2
+	tagAllred  = 1<<30 + 3
+	tagGather  = 1<<30 + 4
+	tagScatter = 1<<30 + 5
+	tagGatherV = 1<<30 + 6
+	tagAllgath = 1<<30 + 7
+)
+
+type message struct {
+	from int
+	tag  int
+	data []float64
+}
+
+// World is a communicator universe: a fixed set of ranks with
+// per-rank mailboxes.
+type World struct {
+	size      int
+	mailboxes []chan message
+	model     *NetModel
+	stats     []CommStats
+}
+
+// Option configures a World.
+type Option func(*World)
+
+// WithNetModel attaches a virtual network-cost model; every message is
+// charged latency + bytes/bandwidth of virtual time on both endpoints.
+func WithNetModel(m *NetModel) Option {
+	return func(w *World) { w.model = m }
+}
+
+// WithMailboxCapacity overrides the per-rank mailbox buffer size
+// (default max(256, 4*size) messages). Send blocks when the
+// destination mailbox is full, mirroring MPI's rendezvous behaviour
+// for large backlogs.
+func WithMailboxCapacity(n int) Option {
+	return func(w *World) {
+		for i := range w.mailboxes {
+			w.mailboxes[i] = make(chan message, n)
+		}
+	}
+}
+
+// NewWorld creates a World with the given number of ranks.
+func NewWorld(size int, opts ...Option) *World {
+	if size <= 0 {
+		panic(fmt.Sprintf("mpi: world size must be positive, got %d", size))
+	}
+	w := &World{
+		size:      size,
+		mailboxes: make([]chan message, size),
+		stats:     make([]CommStats, size),
+	}
+	capacity := 4 * size
+	if capacity < 256 {
+		capacity = 256
+	}
+	for i := range w.mailboxes {
+		w.mailboxes[i] = make(chan message, capacity)
+	}
+	for _, o := range opts {
+		o(w)
+	}
+	return w
+}
+
+// Size returns the number of ranks in the world.
+func (w *World) Size() int { return w.size }
+
+// Stats returns a copy of the accumulated per-rank communication
+// statistics from the most recent Run.
+func (w *World) Stats() []CommStats {
+	return append([]CommStats(nil), w.stats...)
+}
+
+// TotalStats returns the sum of all per-rank statistics.
+func (w *World) TotalStats() CommStats {
+	var t CommStats
+	for _, s := range w.stats {
+		t.MessagesSent += s.MessagesSent
+		t.BytesSent += s.BytesSent
+		t.MessagesRecv += s.MessagesRecv
+		t.BytesRecv += s.BytesRecv
+		t.VirtualCommSeconds += s.VirtualCommSeconds
+	}
+	return t
+}
+
+// RankPanicError reports that a rank's function panicked during Run.
+type RankPanicError struct {
+	Rank  int
+	Value any
+}
+
+func (e *RankPanicError) Error() string {
+	return fmt.Sprintf("mpi: rank %d panicked: %v", e.Rank, e.Value)
+}
+
+// Run executes f once per rank, each in its own goroutine, and waits
+// for all of them. Per-rank communication statistics are gathered into
+// the World afterwards. If any rank panics, Run returns a
+// *RankPanicError for the lowest such rank (other ranks may then be
+// blocked forever in a real deadlock scenario; here they are abandoned
+// once all non-panicked ranks finish or the test harness times out —
+// callers should treat a returned error as fatal for the whole world).
+func (w *World) Run(f func(c *Comm)) error {
+	var wg sync.WaitGroup
+	errs := make([]*RankPanicError, w.size)
+	comms := make([]*Comm, w.size)
+	for r := 0; r < w.size; r++ {
+		comms[r] = &Comm{rank: r, world: w}
+	}
+	for r := 0; r < w.size; r++ {
+		wg.Add(1)
+		go func(rank int) {
+			defer wg.Done()
+			defer func() {
+				if v := recover(); v != nil {
+					errs[rank] = &RankPanicError{Rank: rank, Value: v}
+				}
+			}()
+			f(comms[rank])
+		}(r)
+	}
+	wg.Wait()
+	for r, c := range comms {
+		w.stats[r] = c.stats
+	}
+	for _, e := range errs {
+		if e != nil {
+			return e
+		}
+	}
+	return nil
+}
+
+// Comm is one rank's endpoint into the World. A Comm must only be used
+// from the goroutine Run created it for.
+type Comm struct {
+	rank    int
+	world   *World
+	pending []message // received but not yet matched
+	stats   CommStats
+}
+
+// Rank returns this endpoint's rank in [0, Size).
+func (c *Comm) Rank() int { return c.rank }
+
+// Size returns the world size.
+func (c *Comm) Size() int { return c.world.size }
+
+// Stats returns the statistics accumulated so far by this rank.
+func (c *Comm) Stats() CommStats { return c.stats }
+
+// Send delivers a copy of data to rank `to` with the given tag. It
+// blocks only if the destination mailbox is full. Sending to self is
+// allowed (the message is matched by a later Recv on the same rank).
+func (c *Comm) Send(to, tag int, data []float64) {
+	if to < 0 || to >= c.world.size {
+		panic(fmt.Sprintf("mpi: Send to invalid rank %d (size %d)", to, c.world.size))
+	}
+	if tag < 0 {
+		panic(fmt.Sprintf("mpi: Send with negative tag %d", tag))
+	}
+	c.send(to, tag, data)
+}
+
+func (c *Comm) send(to, tag int, data []float64) {
+	buf := append([]float64(nil), data...)
+	c.world.mailboxes[to] <- message{from: c.rank, tag: tag, data: buf}
+	c.stats.MessagesSent++
+	c.stats.BytesSent += int64(8 * len(buf))
+	if m := c.world.model; m != nil {
+		c.stats.VirtualCommSeconds += m.Cost(8 * len(buf))
+	}
+}
+
+// Recv blocks until a message matching (from, tag) is available and
+// returns its payload. Use AnySource and/or AnyTag as wildcards.
+// Messages from the same sender with the same tag are received in the
+// order they were sent (non-overtaking).
+func (c *Comm) Recv(from, tag int) []float64 {
+	data, _, _ := c.RecvStatus(from, tag)
+	return data
+}
+
+// RecvStatus is Recv but also reports the actual source and tag, which
+// matters when wildcards were used.
+func (c *Comm) RecvStatus(from, tag int) (data []float64, actualFrom, actualTag int) {
+	// First look through messages that arrived earlier but didn't match
+	// the Recv that pulled them out of the mailbox.
+	for i, m := range c.pending {
+		if matches(m, from, tag) {
+			c.pending = append(c.pending[:i], c.pending[i+1:]...)
+			c.account(m)
+			return m.data, m.from, m.tag
+		}
+	}
+	for {
+		m := <-c.world.mailboxes[c.rank]
+		if matches(m, from, tag) {
+			c.account(m)
+			return m.data, m.from, m.tag
+		}
+		c.pending = append(c.pending, m)
+	}
+}
+
+func (c *Comm) account(m message) {
+	c.stats.MessagesRecv++
+	c.stats.BytesRecv += int64(8 * len(m.data))
+	if mod := c.world.model; mod != nil {
+		c.stats.VirtualCommSeconds += mod.Cost(8 * len(m.data))
+	}
+}
+
+func matches(m message, from, tag int) bool {
+	return (from == AnySource || m.from == from) && (tag == AnyTag || m.tag == tag)
+}
+
+// Probe reports whether a message matching (from, tag) can be received
+// without blocking. It drains the mailbox into the pending queue while
+// checking, so it is O(queued messages).
+func (c *Comm) Probe(from, tag int) bool {
+	for _, m := range c.pending {
+		if matches(m, from, tag) {
+			return true
+		}
+	}
+	for {
+		select {
+		case m := <-c.world.mailboxes[c.rank]:
+			c.pending = append(c.pending, m)
+			if matches(m, from, tag) {
+				return true
+			}
+		default:
+			return false
+		}
+	}
+}
+
+// Request represents an in-flight non-blocking operation.
+type Request struct {
+	done bool
+	data []float64
+	wait func() []float64
+}
+
+// Wait blocks until the operation completes and returns the received
+// payload (nil for sends).
+func (r *Request) Wait() []float64 {
+	if !r.done {
+		r.data = r.wait()
+		r.done = true
+	}
+	return r.data
+}
+
+// Isend starts a non-blocking send. Because sends are buffered, the
+// operation completes immediately; the Request exists for API symmetry
+// with MPI code.
+func (c *Comm) Isend(to, tag int, data []float64) *Request {
+	c.Send(to, tag, data)
+	return &Request{done: true}
+}
+
+// Irecv starts a non-blocking receive. The matching and blocking work
+// happens when Wait is called; this mirrors the common MPI usage
+// pattern of posting receives first and waiting later.
+func (c *Comm) Irecv(from, tag int) *Request {
+	return &Request{wait: func() []float64 { return c.Recv(from, tag) }}
+}
+
+// WaitAll waits on every request and returns their payloads in order.
+func WaitAll(reqs ...*Request) [][]float64 {
+	out := make([][]float64, len(reqs))
+	for i, r := range reqs {
+		out[i] = r.Wait()
+	}
+	return out
+}
+
+// SendRecv performs a combined send to `to` and receive from `from`
+// with the same tag, the deadlock-free building block for halo
+// exchanges. Because sends are buffered, this is simply a Send followed
+// by a Recv.
+func (c *Comm) SendRecv(to, sendTag int, sendData []float64, from, recvTag int) []float64 {
+	c.Send(to, sendTag, sendData)
+	return c.Recv(from, recvTag)
+}

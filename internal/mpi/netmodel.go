@@ -1,0 +1,53 @@
+package mpi
+
+import "fmt"
+
+// CommStats accumulates communication counters for one rank.
+type CommStats struct {
+	MessagesSent int64
+	BytesSent    int64
+	MessagesRecv int64
+	BytesRecv    int64
+	// VirtualCommSeconds is the network-model time charged to this
+	// rank for all of its sends and receives (0 without a NetModel).
+	VirtualCommSeconds float64
+}
+
+// String implements fmt.Stringer.
+func (s CommStats) String() string {
+	return fmt.Sprintf("sent %d msgs / %d B, recv %d msgs / %d B, virt-comm %.6fs",
+		s.MessagesSent, s.BytesSent, s.MessagesRecv, s.BytesRecv, s.VirtualCommSeconds)
+}
+
+// NetModel is a latency/bandwidth (α–β) cost model for messages. On a
+// shared-memory transport real wire time is negligible, so experiments
+// charge each message Cost(bytes) of *virtual* time per endpoint to
+// estimate what the same traffic would cost on a cluster interconnect.
+type NetModel struct {
+	// LatencySeconds is the per-message startup cost α.
+	LatencySeconds float64
+	// BytesPerSecond is the link bandwidth 1/β.
+	BytesPerSecond float64
+}
+
+// Cost returns the modeled transfer time for a message of n bytes.
+func (m *NetModel) Cost(n int) float64 {
+	c := m.LatencySeconds
+	if m.BytesPerSecond > 0 {
+		c += float64(n) / m.BytesPerSecond
+	}
+	return c
+}
+
+// ClusterEthernet returns parameters representative of commodity
+// 10 GbE with ~20 µs MPI latency, a reasonable stand-in for the
+// cluster class of machine used in the paper.
+func ClusterEthernet() *NetModel {
+	return &NetModel{LatencySeconds: 20e-6, BytesPerSecond: 1.25e9}
+}
+
+// ClusterInfiniband returns parameters representative of EDR
+// InfiniBand (~1.5 µs latency, ~12 GB/s).
+func ClusterInfiniband() *NetModel {
+	return &NetModel{LatencySeconds: 1.5e-6, BytesPerSecond: 12e9}
+}

@@ -1,0 +1,103 @@
+package mpi
+
+import (
+	"sync"
+	"testing"
+)
+
+// TestMixedCollectivesNonPowerOfTwo is the regression test for the
+// binomial-broadcast tree bug found by cmd/selfcheck: on
+// non-power-of-two worlds, Allreduce falls back to Reduce+Bcast, and
+// the original Bcast enumerated children inconsistently with its
+// parent formula, deadlocking ranks ≥ 3. The exact failing scenario
+// was an Allreduce followed by a RingAllreduce at P = 6.
+func TestMixedCollectivesNonPowerOfTwo(t *testing.T) {
+	for _, size := range []int{3, 5, 6, 7, 9, 11} {
+		const n = 10
+		want := make([]float64, n)
+		for r := 0; r < size; r++ {
+			for i := 0; i < n; i++ {
+				want[i] += float64(r*n + i)
+			}
+		}
+		var mu sync.Mutex
+		bad := false
+		w := NewWorld(size)
+		err := w.Run(func(c *Comm) {
+			data := make([]float64, n)
+			for i := range data {
+				data[i] = float64(c.Rank()*n + i)
+			}
+			tree := c.Allreduce(data, OpSum)
+			ring := c.RingAllreduce(data, OpSum)
+			for i := 0; i < n; i++ {
+				if tree[i] != want[i] || ring[i] != want[i] {
+					mu.Lock()
+					bad = true
+					mu.Unlock()
+				}
+			}
+		})
+		if err != nil {
+			t.Fatalf("size %d: %v", size, err)
+		}
+		if bad {
+			t.Fatalf("size %d: collective mismatch", size)
+		}
+	}
+}
+
+// TestBinomialTreeConsistency verifies structurally that every
+// non-root node's parent lists that node among its children — the
+// invariant whose violation caused the deadlock.
+func TestBinomialTreeConsistency(t *testing.T) {
+	for size := 2; size <= 33; size++ {
+		for v := 1; v < size; v++ {
+			parent := v & (v - 1)
+			found := false
+			for bit := childBitStart(parent, size); bit >= 1; bit >>= 1 {
+				if parent+bit == v {
+					found = true
+				}
+			}
+			if !found {
+				t.Fatalf("size %d: node %d not a child of its parent %d", size, v, parent)
+			}
+		}
+	}
+}
+
+// TestCollectiveSequences runs several different collectives
+// back-to-back on the same communicator, which exercises the
+// non-overtaking tag discipline between internal tag spaces.
+func TestCollectiveSequences(t *testing.T) {
+	const size = 6
+	w := NewWorld(size)
+	err := w.Run(func(c *Comm) {
+		r := float64(c.Rank())
+		for round := 0; round < 3; round++ {
+			c.Barrier()
+			sum := c.AllreduceScalar(r, OpSum)
+			if sum != 15 {
+				t.Errorf("round %d: allreduce = %g", round, sum)
+			}
+			got := c.Bcast(round%size, []float64{float64(round)})
+			if got[0] != float64(round) {
+				t.Errorf("round %d: bcast = %v", round, got)
+			}
+			all := c.Allgather([]float64{r})
+			for i := range all {
+				if all[i][0] != float64(i) {
+					t.Errorf("round %d: allgather[%d] = %v", round, i, all[i])
+				}
+			}
+			red := c.Reduce(size-1, []float64{1}, OpSum)
+			if c.Rank() == size-1 && red[0] != size {
+				t.Errorf("round %d: reduce = %v", round, red)
+			}
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,195 @@
+package nn
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/tensor"
+)
+
+// LeakyReLU is the paper's activation (Eq. 2): σ(x) = x for x ≥ 0 and
+// εx for x < 0, with a constant ε (the paper uses ε = 0.01).
+type LeakyReLU struct {
+	Epsilon    float64
+	cacheInput *tensor.Tensor
+	name       string
+}
+
+// NewLeakyReLU builds the activation with the given negative slope.
+func NewLeakyReLU(name string, epsilon float64) *LeakyReLU {
+	if epsilon < 0 || epsilon >= 1 {
+		panic(fmt.Sprintf("nn: LeakyReLU epsilon %g outside [0,1)", epsilon))
+	}
+	return &LeakyReLU{Epsilon: epsilon, name: name}
+}
+
+// Name implements Layer.
+func (l *LeakyReLU) Name() string { return l.name }
+
+// Params implements Layer (no trainable parameters).
+func (l *LeakyReLU) Params() []*Param { return nil }
+
+// Forward implements Layer.
+func (l *LeakyReLU) Forward(x *tensor.Tensor) *tensor.Tensor {
+	l.cacheInput = x.Clone()
+	eps := l.Epsilon
+	return x.Apply(func(v float64) float64 {
+		if v >= 0 {
+			return v
+		}
+		return eps * v
+	})
+}
+
+// Backward implements Layer. The subgradient at exactly 0 is taken as
+// 1 (the paper notes the choice is immaterial in practice).
+func (l *LeakyReLU) Backward(gradOut *tensor.Tensor) *tensor.Tensor {
+	if l.cacheInput == nil {
+		panic(fmt.Sprintf("nn: LeakyReLU %s Backward before Forward", l.name))
+	}
+	x := l.cacheInput
+	l.cacheInput = nil
+	out := gradOut.Clone()
+	od, xd := out.Data(), x.Data()
+	for i := range od {
+		if xd[i] < 0 {
+			od[i] *= l.Epsilon
+		}
+	}
+	return out
+}
+
+// ReLU is the plain rectifier (Eq. 1), provided for the activation
+// ablation.
+type ReLU struct {
+	cacheInput *tensor.Tensor
+	name       string
+}
+
+// NewReLU builds a ReLU activation.
+func NewReLU(name string) *ReLU { return &ReLU{name: name} }
+
+// Name implements Layer.
+func (l *ReLU) Name() string { return l.name }
+
+// Params implements Layer.
+func (l *ReLU) Params() []*Param { return nil }
+
+// Forward implements Layer.
+func (l *ReLU) Forward(x *tensor.Tensor) *tensor.Tensor {
+	l.cacheInput = x.Clone()
+	return x.Apply(func(v float64) float64 { return math.Max(0, v) })
+}
+
+// Backward implements Layer.
+func (l *ReLU) Backward(gradOut *tensor.Tensor) *tensor.Tensor {
+	if l.cacheInput == nil {
+		panic(fmt.Sprintf("nn: ReLU %s Backward before Forward", l.name))
+	}
+	x := l.cacheInput
+	l.cacheInput = nil
+	out := gradOut.Clone()
+	od, xd := out.Data(), x.Data()
+	for i := range od {
+		if xd[i] < 0 {
+			od[i] = 0
+		}
+	}
+	return out
+}
+
+// Tanh is the hyperbolic-tangent activation, included for the
+// activation ablation (the paper cites Glorot et al. for why ReLU
+// variants beat it).
+type Tanh struct {
+	cacheOutput *tensor.Tensor
+	name        string
+}
+
+// NewTanh builds a tanh activation.
+func NewTanh(name string) *Tanh { return &Tanh{name: name} }
+
+// Name implements Layer.
+func (l *Tanh) Name() string { return l.name }
+
+// Params implements Layer.
+func (l *Tanh) Params() []*Param { return nil }
+
+// Forward implements Layer.
+func (l *Tanh) Forward(x *tensor.Tensor) *tensor.Tensor {
+	y := x.Apply(math.Tanh)
+	l.cacheOutput = y.Clone()
+	return y
+}
+
+// Backward implements Layer using dtanh = 1 - tanh².
+func (l *Tanh) Backward(gradOut *tensor.Tensor) *tensor.Tensor {
+	if l.cacheOutput == nil {
+		panic(fmt.Sprintf("nn: Tanh %s Backward before Forward", l.name))
+	}
+	y := l.cacheOutput
+	l.cacheOutput = nil
+	out := gradOut.Clone()
+	od, yd := out.Data(), y.Data()
+	for i := range od {
+		od[i] *= 1 - yd[i]*yd[i]
+	}
+	return out
+}
+
+// Sigmoid is the logistic activation, included for the activation
+// ablation.
+type Sigmoid struct {
+	cacheOutput *tensor.Tensor
+	name        string
+}
+
+// NewSigmoid builds a sigmoid activation.
+func NewSigmoid(name string) *Sigmoid { return &Sigmoid{name: name} }
+
+// Name implements Layer.
+func (l *Sigmoid) Name() string { return l.name }
+
+// Params implements Layer.
+func (l *Sigmoid) Params() []*Param { return nil }
+
+// Forward implements Layer.
+func (l *Sigmoid) Forward(x *tensor.Tensor) *tensor.Tensor {
+	y := x.Apply(func(v float64) float64 { return 1 / (1 + math.Exp(-v)) })
+	l.cacheOutput = y.Clone()
+	return y
+}
+
+// Backward implements Layer using dσ = σ(1-σ).
+func (l *Sigmoid) Backward(gradOut *tensor.Tensor) *tensor.Tensor {
+	if l.cacheOutput == nil {
+		panic(fmt.Sprintf("nn: Sigmoid %s Backward before Forward", l.name))
+	}
+	y := l.cacheOutput
+	l.cacheOutput = nil
+	out := gradOut.Clone()
+	od, yd := out.Data(), y.Data()
+	for i := range od {
+		od[i] *= yd[i] * (1 - yd[i])
+	}
+	return out
+}
+
+// Identity passes its input through unchanged; useful as a final
+// "activation" slot in regression networks.
+type Identity struct{ name string }
+
+// NewIdentity builds an identity layer.
+func NewIdentity(name string) *Identity { return &Identity{name: name} }
+
+// Name implements Layer.
+func (l *Identity) Name() string { return l.name }
+
+// Params implements Layer.
+func (l *Identity) Params() []*Param { return nil }
+
+// Forward implements Layer.
+func (l *Identity) Forward(x *tensor.Tensor) *tensor.Tensor { return x.Clone() }
+
+// Backward implements Layer.
+func (l *Identity) Backward(gradOut *tensor.Tensor) *tensor.Tensor { return gradOut.Clone() }

@@ -1,0 +1,211 @@
+package nn
+
+import (
+	"fmt"
+
+	"repro/internal/tensor"
+)
+
+// Conv2D is a stride-1 two-dimensional convolution layer operating on
+// NCHW tensors, the workhorse of the paper's Table-I architecture.
+//
+// Pad is the number of zero-padding cells added on every side before
+// the valid convolution. With Pad = (K-1)/2 and odd K the layer is
+// shape-preserving ("same" padding, the paper's approach 1); with
+// Pad = 0 it is a valid convolution that shrinks the field by K-1 in
+// each dimension (used by the neighbour-padding approach 2, where the
+// enlarged input carries real data from adjacent subdomains instead of
+// zeros).
+type Conv2D struct {
+	InChannels  int
+	OutChannels int
+	Kernel      int
+	Pad         int
+
+	// Workers enables intra-layer parallelism: the forward pass fans
+	// out over (batch × output channel) tasks and the backward pass
+	// over input channels. 0 or 1 (the default) keeps the layer
+	// strictly single-threaded, which the critical-path timing model
+	// relies on; results are bit-identical either way.
+	Workers int
+
+	weight *Param // [Cout, Cin, K, K]
+	bias   *Param // [Cout]
+
+	cacheInput *tensor.Tensor // padded input from the last Forward
+	name       string
+}
+
+// NewConv2D builds a convolution layer with He-initialized weights.
+func NewConv2D(name string, g *tensor.RNG, inCh, outCh, kernel, pad int) *Conv2D {
+	if inCh <= 0 || outCh <= 0 || kernel <= 0 || pad < 0 {
+		panic(fmt.Sprintf("nn: invalid Conv2D config in=%d out=%d k=%d pad=%d", inCh, outCh, kernel, pad))
+	}
+	fanIn := inCh * kernel * kernel
+	w := HeNormal(g, fanIn, outCh, inCh, kernel, kernel)
+	b := tensor.New(outCh)
+	return &Conv2D{
+		InChannels:  inCh,
+		OutChannels: outCh,
+		Kernel:      kernel,
+		Pad:         pad,
+		weight:      NewParam(name+".weight", w),
+		bias:        NewParam(name+".bias", b),
+		name:        name,
+	}
+}
+
+// SamePad returns the padding that preserves spatial shape for an odd
+// kernel size.
+func SamePad(kernel int) int { return (kernel - 1) / 2 }
+
+// Name implements Layer.
+func (c *Conv2D) Name() string { return c.name }
+
+// Params implements Layer.
+func (c *Conv2D) Params() []*Param { return []*Param{c.weight, c.bias} }
+
+// Weight exposes the kernel parameter (for tests and checkpoints).
+func (c *Conv2D) Weight() *Param { return c.weight }
+
+// Bias exposes the bias parameter.
+func (c *Conv2D) Bias() *Param { return c.bias }
+
+// OutputShape returns the spatial output size for an h×w input.
+func (c *Conv2D) OutputShape(h, w int) (oh, ow int) {
+	return h + 2*c.Pad - c.Kernel + 1, w + 2*c.Pad - c.Kernel + 1
+}
+
+// Forward implements Layer.
+func (c *Conv2D) Forward(x *tensor.Tensor) *tensor.Tensor {
+	if x.Rank() != 4 {
+		panic(fmt.Sprintf("nn: Conv2D %s needs NCHW input, got shape %v", c.name, x.Shape()))
+	}
+	if x.Dim(1) != c.InChannels {
+		panic(fmt.Sprintf("nn: Conv2D %s expects %d input channels, got %d", c.name, c.InChannels, x.Dim(1)))
+	}
+	xp := x
+	if c.Pad > 0 {
+		xp = tensor.Pad2D(x, c.Pad)
+	} else {
+		xp = x.Clone() // keep an immutable copy for backward
+	}
+	c.cacheInput = xp
+	return validConvForward(xp, c.weight.Value, c.bias.Value, c.Workers)
+}
+
+// Backward implements Layer.
+func (c *Conv2D) Backward(gradOut *tensor.Tensor) *tensor.Tensor {
+	if c.cacheInput == nil {
+		panic(fmt.Sprintf("nn: Conv2D %s Backward before Forward", c.name))
+	}
+	dxPadded := validConvBackward(c.cacheInput, c.weight.Value, gradOut, c.weight.Grad, c.bias.Grad, c.Workers)
+	c.cacheInput = nil
+	if c.Pad > 0 {
+		return tensor.Crop2D(dxPadded, c.Pad)
+	}
+	return dxPadded
+}
+
+// validConvForward computes a stride-1 valid cross-correlation:
+// y[n,co,oy,ox] = b[co] + Σ_{ci,ky,kx} x[n,ci,oy+ky,ox+kx] · w[co,ci,ky,kx].
+// With workers > 1, (batch, output-channel) tasks run concurrently;
+// their output regions are disjoint, so the result is identical.
+func validConvForward(x, w, b *tensor.Tensor, workers int) *tensor.Tensor {
+	n, cin, h, wid := x.Dim(0), x.Dim(1), x.Dim(2), x.Dim(3)
+	cout, k := w.Dim(0), w.Dim(2)
+	oh, ow := h-k+1, wid-k+1
+	if oh <= 0 || ow <= 0 {
+		panic(fmt.Sprintf("nn: conv input %dx%d smaller than kernel %d", h, wid, k))
+	}
+	y := tensor.New(n, cout, oh, ow)
+	xd, wd, yd, bd := x.Data(), w.Data(), y.Data(), b.Data()
+	parallelFor(n*cout, workers, func(task int) {
+		in, co := task/cout, task%cout
+		outBase := (in*cout + co) * oh * ow
+		bv := bd[co]
+		for i := outBase; i < outBase+oh*ow; i++ {
+			yd[i] = bv
+		}
+		for ci := 0; ci < cin; ci++ {
+			inBase := (in*cin + ci) * h * wid
+			wBase := ((co*cin + ci) * k) * k
+			for ky := 0; ky < k; ky++ {
+				wrow := wd[wBase+ky*k : wBase+(ky+1)*k]
+				for oy := 0; oy < oh; oy++ {
+					srcRow := xd[inBase+(oy+ky)*wid : inBase+(oy+ky)*wid+wid]
+					dstRow := yd[outBase+oy*ow : outBase+(oy+1)*ow]
+					for kx := 0; kx < k; kx++ {
+						wv := wrow[kx]
+						if wv == 0 {
+							continue
+						}
+						src := srcRow[kx : kx+ow]
+						for ox := range dstRow {
+							dstRow[ox] += wv * src[ox]
+						}
+					}
+				}
+			}
+		}
+	})
+	return y
+}
+
+// validConvBackward accumulates dW and dB from gradOut and returns
+// dL/dx for the (already padded) input of validConvForward. With
+// workers > 1 the bias gradient is computed serially (it is cheap),
+// and the main sweep fans out over input channels, whose dW and dx
+// regions are disjoint — results are identical to the serial path.
+func validConvBackward(x, w, gradOut, dW, dB *tensor.Tensor, workers int) *tensor.Tensor {
+	n, cin, h, wid := x.Dim(0), x.Dim(1), x.Dim(2), x.Dim(3)
+	cout, k := w.Dim(0), w.Dim(2)
+	oh, ow := gradOut.Dim(2), gradOut.Dim(3)
+	if gradOut.Dim(0) != n || gradOut.Dim(1) != cout || oh != h-k+1 || ow != wid-k+1 {
+		panic(fmt.Sprintf("nn: conv backward shape mismatch x=%v w=%v dy=%v", x.Shape(), w.Shape(), gradOut.Shape()))
+	}
+	dx := tensor.New(n, cin, h, wid)
+	xd, wd, gd, dxd := x.Data(), w.Data(), gradOut.Data(), dx.Data()
+	dWd, dBd := dW.Data(), dB.Data()
+
+	// Bias gradient: sum of the output gradient per output channel.
+	for in := 0; in < n; in++ {
+		for co := 0; co < cout; co++ {
+			gBase := (in*cout + co) * oh * ow
+			s := 0.0
+			for i := gBase; i < gBase+oh*ow; i++ {
+				s += gd[i]
+			}
+			dBd[co] += s
+		}
+	}
+
+	parallelFor(cin, workers, func(ci int) {
+		for in := 0; in < n; in++ {
+			inBase := (in*cin + ci) * h * wid
+			for co := 0; co < cout; co++ {
+				gBase := (in*cout + co) * oh * ow
+				wBase := ((co*cin + ci) * k) * k
+				for ky := 0; ky < k; ky++ {
+					for oy := 0; oy < oh; oy++ {
+						gRow := gd[gBase+oy*ow : gBase+(oy+1)*ow]
+						srcRow := xd[inBase+(oy+ky)*wid : inBase+(oy+ky)*wid+wid]
+						dxRow := dxd[inBase+(oy+ky)*wid : inBase+(oy+ky)*wid+wid]
+						for kx := 0; kx < k; kx++ {
+							wv := wd[wBase+ky*k+kx]
+							acc := 0.0
+							src := srcRow[kx : kx+ow]
+							dst := dxRow[kx : kx+ow]
+							for ox, g := range gRow {
+								acc += g * src[ox]
+								dst[ox] += g * wv
+							}
+							dWd[wBase+ky*k+kx] += acc
+						}
+					}
+				}
+			}
+		}
+	})
+	return dx
+}

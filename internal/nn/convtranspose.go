@@ -1,0 +1,160 @@
+package nn
+
+import (
+	"fmt"
+
+	"repro/internal/tensor"
+)
+
+// ConvTranspose2D is a stride-1 transpose convolution ("deconvolution")
+// on NCHW tensors: every input pixel scatters a K×K stamp into the
+// output, growing the field by K-1 in each dimension. This implements
+// the paper's §III approach 4 for recovering the spatial size lost by
+// valid convolutions ("Adding de-convolutional layers or the transpose
+// convolution ... currently under investigation").
+//
+// The weight layout is [Cin, Cout, K, K] (the PyTorch ConvTranspose2d
+// convention): the forward map is exactly the adjoint of Conv2D's
+// valid cross-correlation with a [Cin→Cout] kernel.
+type ConvTranspose2D struct {
+	InChannels  int
+	OutChannels int
+	Kernel      int
+
+	weight *Param // [Cin, Cout, K, K]
+	bias   *Param // [Cout]
+
+	cacheInput *tensor.Tensor
+	name       string
+}
+
+// NewConvTranspose2D builds a transpose convolution layer with
+// He-initialized weights.
+func NewConvTranspose2D(name string, g *tensor.RNG, inCh, outCh, kernel int) *ConvTranspose2D {
+	if inCh <= 0 || outCh <= 0 || kernel <= 0 {
+		panic(fmt.Sprintf("nn: invalid ConvTranspose2D config in=%d out=%d k=%d", inCh, outCh, kernel))
+	}
+	fanIn := inCh * kernel * kernel
+	w := HeNormal(g, fanIn, inCh, outCh, kernel, kernel)
+	b := tensor.New(outCh)
+	return &ConvTranspose2D{
+		InChannels:  inCh,
+		OutChannels: outCh,
+		Kernel:      kernel,
+		weight:      NewParam(name+".weight", w),
+		bias:        NewParam(name+".bias", b),
+		name:        name,
+	}
+}
+
+// Name implements Layer.
+func (c *ConvTranspose2D) Name() string { return c.name }
+
+// Params implements Layer.
+func (c *ConvTranspose2D) Params() []*Param { return []*Param{c.weight, c.bias} }
+
+// OutputShape returns the spatial output size for an h×w input.
+func (c *ConvTranspose2D) OutputShape(h, w int) (oh, ow int) {
+	return h + c.Kernel - 1, w + c.Kernel - 1
+}
+
+// Forward implements Layer:
+// y[n,co,iy+ky,ix+kx] += x[n,ci,iy,ix] · w[ci,co,ky,kx], plus bias.
+func (c *ConvTranspose2D) Forward(x *tensor.Tensor) *tensor.Tensor {
+	if x.Rank() != 4 {
+		panic(fmt.Sprintf("nn: ConvTranspose2D %s needs NCHW input, got %v", c.name, x.Shape()))
+	}
+	if x.Dim(1) != c.InChannels {
+		panic(fmt.Sprintf("nn: ConvTranspose2D %s expects %d input channels, got %d", c.name, c.InChannels, x.Dim(1)))
+	}
+	c.cacheInput = x.Clone()
+	n, cin, h, wid := x.Dim(0), x.Dim(1), x.Dim(2), x.Dim(3)
+	k := c.Kernel
+	cout := c.OutChannels
+	oh, ow := h+k-1, wid+k-1
+	y := tensor.New(n, cout, oh, ow)
+	xd, wd, yd, bd := x.Data(), c.weight.Value.Data(), y.Data(), c.bias.Value.Data()
+	for in := 0; in < n; in++ {
+		for co := 0; co < cout; co++ {
+			outBase := (in*cout + co) * oh * ow
+			bv := bd[co]
+			for i := outBase; i < outBase+oh*ow; i++ {
+				yd[i] = bv
+			}
+			for ci := 0; ci < cin; ci++ {
+				inBase := (in*cin + ci) * h * wid
+				wBase := ((ci*cout + co) * k) * k
+				for ky := 0; ky < k; ky++ {
+					for iy := 0; iy < h; iy++ {
+						srcRow := xd[inBase+iy*wid : inBase+(iy+1)*wid]
+						dstRow := yd[outBase+(iy+ky)*ow : outBase+(iy+ky)*ow+ow]
+						for kx := 0; kx < k; kx++ {
+							wv := wd[wBase+ky*k+kx]
+							if wv == 0 {
+								continue
+							}
+							dst := dstRow[kx : kx+wid]
+							for ix, xv := range srcRow {
+								dst[ix] += wv * xv
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+	return y
+}
+
+// Backward implements Layer. Because Forward is the adjoint of a valid
+// cross-correlation, dx is exactly a valid cross-correlation of the
+// output gradient with the kernel.
+func (c *ConvTranspose2D) Backward(gradOut *tensor.Tensor) *tensor.Tensor {
+	if c.cacheInput == nil {
+		panic(fmt.Sprintf("nn: ConvTranspose2D %s Backward before Forward", c.name))
+	}
+	x := c.cacheInput
+	c.cacheInput = nil
+	n, cin, h, wid := x.Dim(0), x.Dim(1), x.Dim(2), x.Dim(3)
+	k := c.Kernel
+	cout := c.OutChannels
+	oh, ow := h+k-1, wid+k-1
+	if gradOut.Dim(0) != n || gradOut.Dim(1) != cout || gradOut.Dim(2) != oh || gradOut.Dim(3) != ow {
+		panic(fmt.Sprintf("nn: ConvTranspose2D backward shape mismatch x=%v dy=%v", x.Shape(), gradOut.Shape()))
+	}
+	dx := tensor.New(n, cin, h, wid)
+	xd, wd, gd, dxd := x.Data(), c.weight.Value.Data(), gradOut.Data(), dx.Data()
+	dWd, dBd := c.weight.Grad.Data(), c.bias.Grad.Data()
+	for in := 0; in < n; in++ {
+		for co := 0; co < cout; co++ {
+			gBase := (in*cout + co) * oh * ow
+			s := 0.0
+			for i := gBase; i < gBase+oh*ow; i++ {
+				s += gd[i]
+			}
+			dBd[co] += s
+			for ci := 0; ci < cin; ci++ {
+				inBase := (in*cin + ci) * h * wid
+				wBase := ((ci*cout + co) * k) * k
+				for ky := 0; ky < k; ky++ {
+					for iy := 0; iy < h; iy++ {
+						srcRow := xd[inBase+iy*wid : inBase+(iy+1)*wid]
+						dxRow := dxd[inBase+iy*wid : inBase+(iy+1)*wid]
+						gRow := gd[gBase+(iy+ky)*ow : gBase+(iy+ky)*ow+ow]
+						for kx := 0; kx < k; kx++ {
+							wv := wd[wBase+ky*k+kx]
+							g := gRow[kx : kx+wid]
+							acc := 0.0
+							for ix := range srcRow {
+								acc += g[ix] * srcRow[ix]
+								dxRow[ix] += g[ix] * wv
+							}
+							dWd[wBase+ky*k+kx] += acc
+						}
+					}
+				}
+			}
+		}
+	}
+	return dx
+}

@@ -1,0 +1,237 @@
+package nn
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/tensor"
+)
+
+// LSTM is a single-layer long short-term memory network over
+// sequences: input [N, T, I] → output [N, T, H] (the full hidden-state
+// sequence). It implements the paper's §V future-work direction —
+// "incorporation of more complex layers, such as recurrent and LSTM
+// layers. For these layers, the data must be fed into the network as
+// time-series" — with truncated-free full backpropagation through time.
+//
+// Gate layout follows the standard formulation:
+//
+//	i = σ(x·Wi + h·Ui + bi)    input gate
+//	f = σ(x·Wf + h·Uf + bf)    forget gate
+//	o = σ(x·Wo + h·Uo + bo)    output gate
+//	g = tanh(x·Wg + h·Ug + bg) candidate
+//	c' = f⊙c + i⊙g;  h' = o⊙tanh(c')
+type LSTM struct {
+	In, Hidden int
+
+	// Packed gate parameters: W [I, 4H], U [H, 4H], b [4H];
+	// gate order within the 4H axis: i, f, o, g.
+	w *Param
+	u *Param
+	b *Param
+
+	cache *lstmCache
+	name  string
+}
+
+type lstmCache struct {
+	x     *tensor.Tensor // [N, T, I]
+	hs    [][]float64    // h per step (T+1 entries, [N*H])
+	cs    [][]float64    // c per step (T+1 entries)
+	gates [][]float64    // activated gates per step [N*4H]
+	n, t  int
+}
+
+// NewLSTM builds an LSTM layer with Xavier-initialized weights and the
+// conventional forget-gate bias of 1.
+func NewLSTM(name string, g *tensor.RNG, in, hidden int) *LSTM {
+	if in <= 0 || hidden <= 0 {
+		panic(fmt.Sprintf("nn: invalid LSTM config in=%d hidden=%d", in, hidden))
+	}
+	l := &LSTM{
+		In:     in,
+		Hidden: hidden,
+		w:      NewParam(name+".w", XavierUniform(g, in, hidden, in, 4*hidden)),
+		u:      NewParam(name+".u", XavierUniform(g, hidden, hidden, hidden, 4*hidden)),
+		b:      NewParam(name+".b", tensor.New(4*hidden)),
+		name:   name,
+	}
+	// Forget-gate bias 1 eases gradient flow early in training.
+	bd := l.b.Value.Data()
+	for j := hidden; j < 2*hidden; j++ {
+		bd[j] = 1
+	}
+	return l
+}
+
+// Name implements Layer.
+func (l *LSTM) Name() string { return l.name }
+
+// Params implements Layer.
+func (l *LSTM) Params() []*Param { return []*Param{l.w, l.u, l.b} }
+
+func sigmoid(v float64) float64 { return 1 / (1 + math.Exp(-v)) }
+
+// Forward implements Layer over [N, T, I], returning [N, T, H].
+func (l *LSTM) Forward(x *tensor.Tensor) *tensor.Tensor {
+	if x.Rank() != 3 || x.Dim(2) != l.In {
+		panic(fmt.Sprintf("nn: LSTM %s needs [N,T,%d] input, got %v", l.name, l.In, x.Shape()))
+	}
+	n, t := x.Dim(0), x.Dim(1)
+	h4 := 4 * l.Hidden
+	cache := &lstmCache{x: x.Clone(), n: n, t: t}
+	h := make([]float64, n*l.Hidden)
+	c := make([]float64, n*l.Hidden)
+	cache.hs = append(cache.hs, append([]float64(nil), h...))
+	cache.cs = append(cache.cs, append([]float64(nil), c...))
+	out := tensor.New(n, t, l.Hidden)
+	xd, od := x.Data(), out.Data()
+	wd, ud, bd := l.w.Value.Data(), l.u.Value.Data(), l.b.Value.Data()
+
+	for step := 0; step < t; step++ {
+		gates := make([]float64, n*h4)
+		for s := 0; s < n; s++ {
+			xRow := xd[(s*t+step)*l.In : (s*t+step+1)*l.In]
+			hRow := h[s*l.Hidden : (s+1)*l.Hidden]
+			gRow := gates[s*h4 : (s+1)*h4]
+			copy(gRow, bd)
+			for p, xv := range xRow {
+				if xv == 0 {
+					continue
+				}
+				wRow := wd[p*h4 : (p+1)*h4]
+				for j := range gRow {
+					gRow[j] += xv * wRow[j]
+				}
+			}
+			for p, hv := range hRow {
+				if hv == 0 {
+					continue
+				}
+				uRow := ud[p*h4 : (p+1)*h4]
+				for j := range gRow {
+					gRow[j] += hv * uRow[j]
+				}
+			}
+			// Activate: i, f, o sigmoids; g tanh.
+			for j := 0; j < 3*l.Hidden; j++ {
+				gRow[j] = sigmoid(gRow[j])
+			}
+			for j := 3 * l.Hidden; j < h4; j++ {
+				gRow[j] = math.Tanh(gRow[j])
+			}
+			cRow := c[s*l.Hidden : (s+1)*l.Hidden]
+			for j := 0; j < l.Hidden; j++ {
+				iv := gRow[j]
+				fv := gRow[l.Hidden+j]
+				ov := gRow[2*l.Hidden+j]
+				gv := gRow[3*l.Hidden+j]
+				cRow[j] = fv*cRow[j] + iv*gv
+				hRow[j] = ov * math.Tanh(cRow[j])
+			}
+			copy(od[(s*t+step)*l.Hidden:(s*t+step+1)*l.Hidden], hRow)
+		}
+		cache.gates = append(cache.gates, gates)
+		cache.hs = append(cache.hs, append([]float64(nil), h...))
+		cache.cs = append(cache.cs, append([]float64(nil), c...))
+	}
+	l.cache = cache
+	return out
+}
+
+// Backward implements Layer with full backpropagation through time.
+func (l *LSTM) Backward(gradOut *tensor.Tensor) *tensor.Tensor {
+	if l.cache == nil {
+		panic(fmt.Sprintf("nn: LSTM %s Backward before Forward", l.name))
+	}
+	cc := l.cache
+	l.cache = nil
+	n, t := cc.n, cc.t
+	if gradOut.Rank() != 3 || gradOut.Dim(0) != n || gradOut.Dim(1) != t || gradOut.Dim(2) != l.Hidden {
+		panic(fmt.Sprintf("nn: LSTM backward shape %v, want [%d %d %d]", gradOut.Shape(), n, t, l.Hidden))
+	}
+	h4 := 4 * l.Hidden
+	dx := tensor.New(n, t, l.In)
+	gd := gradOut.Data()
+	xd, dxd := cc.x.Data(), dx.Data()
+	wd, ud := l.w.Value.Data(), l.u.Value.Data()
+	dWd, dUd, dBd := l.w.Grad.Data(), l.u.Grad.Data(), l.b.Grad.Data()
+
+	dh := make([]float64, n*l.Hidden) // running dL/dh_t
+	dc := make([]float64, n*l.Hidden) // running dL/dc_t
+	for step := t - 1; step >= 0; step-- {
+		gates := cc.gates[step]
+		cPrev := cc.cs[step]
+		cCur := cc.cs[step+1]
+		hPrev := cc.hs[step]
+		for s := 0; s < n; s++ {
+			hBase := s * l.Hidden
+			gRow := gates[s*h4 : (s+1)*h4]
+			// Add the direct output gradient for this step.
+			for j := 0; j < l.Hidden; j++ {
+				dh[hBase+j] += gd[(s*t+step)*l.Hidden+j]
+			}
+			dGate := make([]float64, h4) // pre-activation gradients
+			for j := 0; j < l.Hidden; j++ {
+				iv := gRow[j]
+				fv := gRow[l.Hidden+j]
+				ov := gRow[2*l.Hidden+j]
+				gv := gRow[3*l.Hidden+j]
+				tc := math.Tanh(cCur[hBase+j])
+				dhv := dh[hBase+j]
+				dcv := dc[hBase+j] + dhv*ov*(1-tc*tc)
+				// Gate gradients (through their activations).
+				dGate[j] = dcv * gv * iv * (1 - iv)                      // input gate
+				dGate[l.Hidden+j] = dcv * cPrev[hBase+j] * fv * (1 - fv) // forget gate
+				dGate[2*l.Hidden+j] = dhv * tc * ov * (1 - ov)           // output gate
+				dGate[3*l.Hidden+j] = dcv * iv * (1 - gv*gv)             // candidate
+				// Propagate to c_{t-1}.
+				dc[hBase+j] = dcv * fv
+				dh[hBase+j] = 0 // rebuilt below from U
+			}
+			// Accumulate parameter gradients and input/hidden grads.
+			xRow := xd[(s*t+step)*l.In : (s*t+step+1)*l.In]
+			dxRow := dxd[(s*t+step)*l.In : (s*t+step+1)*l.In]
+			for j := 0; j < h4; j++ {
+				dBd[j] += dGate[j]
+			}
+			for p := 0; p < l.In; p++ {
+				wRow := wd[p*h4 : (p+1)*h4]
+				dWRow := dWd[p*h4 : (p+1)*h4]
+				xv := xRow[p]
+				acc := 0.0
+				for j := 0; j < h4; j++ {
+					acc += dGate[j] * wRow[j]
+					dWRow[j] += dGate[j] * xv
+				}
+				dxRow[p] = acc
+			}
+			for p := 0; p < l.Hidden; p++ {
+				uRow := ud[p*h4 : (p+1)*h4]
+				dURow := dUd[p*h4 : (p+1)*h4]
+				hv := hPrev[hBase+p]
+				acc := 0.0
+				for j := 0; j < h4; j++ {
+					acc += dGate[j] * uRow[j]
+					dURow[j] += dGate[j] * hv
+				}
+				dh[hBase+p] += acc
+			}
+		}
+	}
+	return dx
+}
+
+// LastStep extracts the final time step of an LSTM output
+// [N, T, H] → [N, H], the usual regression head input.
+func LastStep(seq *tensor.Tensor) *tensor.Tensor {
+	if seq.Rank() != 3 {
+		panic(fmt.Sprintf("nn: LastStep needs [N,T,H], got %v", seq.Shape()))
+	}
+	n, t, h := seq.Dim(0), seq.Dim(1), seq.Dim(2)
+	out := tensor.New(n, h)
+	for s := 0; s < n; s++ {
+		copy(out.Data()[s*h:(s+1)*h], seq.Data()[(s*t+t-1)*h:(s*t+t)*h])
+	}
+	return out
+}

@@ -1,0 +1,152 @@
+package nn
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/tensor"
+)
+
+func TestLSTMShapes(t *testing.T) {
+	g := tensor.NewRNG(1)
+	l := NewLSTM("lstm", g, 5, 7)
+	x := tensor.Normal(g, 0, 1, 3, 4, 5) // N=3, T=4, I=5
+	y := l.Forward(x)
+	if y.Dim(0) != 3 || y.Dim(1) != 4 || y.Dim(2) != 7 {
+		t.Fatalf("LSTM output shape %v", y.Shape())
+	}
+	dx := l.Backward(y.Clone())
+	if !dx.SameShape(x) {
+		t.Fatalf("LSTM dx shape %v", dx.Shape())
+	}
+	last := LastStep(y)
+	if last.Dim(0) != 3 || last.Dim(1) != 7 {
+		t.Fatalf("LastStep shape %v", last.Shape())
+	}
+	// Last step content matches.
+	if last.At(1, 3) != y.At(1, 3, 3) {
+		t.Fatalf("LastStep content wrong")
+	}
+}
+
+func TestLSTMGradients(t *testing.T) {
+	g := tensor.NewRNG(2)
+	l := NewLSTM("lstm", g, 3, 4)
+	x := tensor.Normal(g, 0, 0.8, 2, 3, 3)
+	checkLayerGradients(t, l, x, 2e-5)
+}
+
+func TestLSTMStateCarriesAcrossSteps(t *testing.T) {
+	// Changing the input at step 0 must influence the output at the
+	// final step (memory), and outputs at earlier steps must be
+	// causal: independent of later inputs.
+	g := tensor.NewRNG(3)
+	l := NewLSTM("lstm", g, 2, 3)
+	x1 := tensor.Normal(g, 0, 1, 1, 4, 2)
+	x2 := x1.Clone()
+	x2.Set(x2.At(0, 0, 0)+1, 0, 0, 0) // perturb step 0
+	y1 := l.Forward(x1)
+	y2 := l.Forward(x2)
+	lastDiff := 0.0
+	for j := 0; j < 3; j++ {
+		lastDiff += math.Abs(y1.At(0, 3, j) - y2.At(0, 3, j))
+	}
+	if lastDiff == 0 {
+		t.Fatal("step-0 input does not reach step-3 output (no memory)")
+	}
+
+	x3 := x1.Clone()
+	x3.Set(x3.At(0, 3, 0)+1, 0, 3, 0) // perturb the last step
+	y3 := l.Forward(x3)
+	for step := 0; step < 3; step++ {
+		for j := 0; j < 3; j++ {
+			if y1.At(0, step, j) != y3.At(0, step, j) {
+				t.Fatalf("output at step %d depends on a later input (not causal)", step)
+			}
+		}
+	}
+}
+
+func TestLSTMForgetBiasInit(t *testing.T) {
+	g := tensor.NewRNG(4)
+	l := NewLSTM("lstm", g, 2, 5)
+	bd := l.b.Value.Data()
+	for j := 5; j < 10; j++ {
+		if bd[j] != 1 {
+			t.Fatalf("forget bias not initialized to 1")
+		}
+	}
+	for j := 0; j < 5; j++ {
+		if bd[j] != 0 {
+			t.Fatalf("input-gate bias not zero")
+		}
+	}
+}
+
+func TestLSTMLearnsRunningSum(t *testing.T) {
+	// Task: output ≈ scaled cumulative sum of a 1-d input sequence —
+	// impossible without recurrent state. An LSTM + Dense head must
+	// fit it far better than predicting the current input alone could.
+	g := tensor.NewRNG(5)
+	lstm := NewLSTM("lstm", g, 1, 8)
+	head := NewDense("head", g, 8, 1)
+
+	const n, steps = 16, 5
+	x := tensor.Uniform(g, 0, 0.2, n, steps, 1)
+	target := tensor.New(n, 1)
+	for s := 0; s < n; s++ {
+		sum := 0.0
+		for k := 0; k < steps; k++ {
+			sum += x.At(s, k, 0)
+		}
+		target.Set(sum, s, 0)
+	}
+	params := append(lstm.Params(), head.Params()...)
+	var final float64
+	for epoch := 0; epoch < 400; epoch++ {
+		seq := lstm.Forward(x)
+		last := LastStep(seq)
+		pred := head.Forward(last)
+		diff := pred.Sub(target)
+		final = diff.Norm2() / math.Sqrt(float64(n))
+		// Quadratic loss grad = diff / n.
+		dPred := diff.Scale(1.0 / float64(n))
+		dLast := head.Backward(dPred)
+		// Route the head gradient into the last step of the sequence.
+		dSeq := tensor.New(n, steps, 8)
+		for s := 0; s < n; s++ {
+			for j := 0; j < 8; j++ {
+				dSeq.Set(dLast.At(s, j), s, steps-1, j)
+			}
+		}
+		lstm.Backward(dSeq)
+		for _, p := range params {
+			p.Value.AddScaled(-0.5, p.Grad)
+			p.ZeroGrad()
+		}
+	}
+	if final > 0.05 {
+		t.Fatalf("LSTM failed to learn running sum: RMSE %g", final)
+	}
+}
+
+func TestLSTMValidation(t *testing.T) {
+	g := tensor.NewRNG(6)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("invalid config accepted")
+		}
+	}()
+	NewLSTM("bad", g, 0, 4)
+}
+
+func TestLSTMWrongInputPanics(t *testing.T) {
+	g := tensor.NewRNG(7)
+	l := NewLSTM("lstm", g, 3, 4)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("wrong input shape accepted")
+		}
+	}()
+	l.Forward(tensor.New(2, 5)) // rank 2
+}

@@ -1,0 +1,84 @@
+package nn
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/tensor"
+)
+
+func TestParallelForCoversAllIndices(t *testing.T) {
+	for _, workers := range []int{0, 1, 2, 4, 17} {
+		const n = 100
+		var hits [n]int64
+		parallelFor(n, workers, func(i int) {
+			atomic.AddInt64(&hits[i], 1)
+		})
+		for i, h := range hits {
+			if h != 1 {
+				t.Fatalf("workers=%d: index %d hit %d times", workers, i, h)
+			}
+		}
+	}
+}
+
+func TestParallelForActuallyConcurrent(t *testing.T) {
+	// With 4 workers and 4 tasks that wait on each other, the loop
+	// only terminates if tasks really run concurrently.
+	var wg sync.WaitGroup
+	wg.Add(4)
+	parallelFor(4, 4, func(i int) {
+		wg.Done()
+		wg.Wait()
+	})
+}
+
+// TestConvWorkersBitIdentical is the correctness contract of the
+// intra-layer parallelism: forward and backward results are identical
+// for any worker count, because all concurrent writes are to disjoint
+// regions.
+func TestConvWorkersBitIdentical(t *testing.T) {
+	f := func(seed int64, workersRaw uint8) bool {
+		workers := int(workersRaw%6) + 2
+		g := tensor.NewRNG(seed)
+		serial := NewConv2D("s", g, 3, 4, 3, 1)
+		parallel := NewConv2D("p", tensor.NewRNG(seed+1), 3, 4, 3, 1)
+		if err := CopyParams(parallel, serial); err != nil {
+			return false
+		}
+		parallel.Workers = workers
+
+		x := tensor.Normal(g, 0, 1, 2, 3, 6, 7)
+		ys := serial.Forward(x)
+		yp := parallel.Forward(x)
+		if !ys.Equal(yp) {
+			return false
+		}
+		ZeroGrads(serial)
+		ZeroGrads(parallel)
+		dxs := serial.Backward(ys.Clone())
+		dxp := parallel.Backward(yp.Clone())
+		if !dxs.Equal(dxp) {
+			return false
+		}
+		for i := range serial.Params() {
+			if !serial.Params()[i].Grad.Equal(parallel.Params()[i].Grad) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 15}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestConvWorkersGradientsStillCorrect(t *testing.T) {
+	g := tensor.NewRNG(11)
+	layer := NewConv2D("conv", g, 2, 3, 3, 1)
+	layer.Workers = 4
+	x := tensor.Normal(g, 0, 1, 2, 2, 5, 5)
+	checkLayerGradients(t, layer, x, 1e-5)
+}

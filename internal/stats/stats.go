@@ -1,0 +1,114 @@
+// Package stats provides the evaluation machinery of §IV: per-channel
+// error metrics between predictions and targets (the quantities behind
+// Fig. 3), timing helpers, strong-scaling tables with speedup and
+// efficiency (Fig. 4), and plain-text/CSV table rendering for the
+// benchmark harness.
+package stats
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/tensor"
+)
+
+// Metrics collects the error measures between a prediction and a
+// target over one set of values.
+type Metrics struct {
+	MAPE float64 // mean absolute percentage error (paper Eq. 7), in %
+	MSE  float64 // mean squared error
+	MAE  float64 // mean absolute error
+	RMSE float64 // root mean squared error
+	Linf float64 // maximum absolute error
+	R2   float64 // coefficient of determination
+}
+
+// String implements fmt.Stringer.
+func (m Metrics) String() string {
+	return fmt.Sprintf("mape=%.3f%% mse=%.3e mae=%.3e rmse=%.3e linf=%.3e r2=%.4f",
+		m.MAPE, m.MSE, m.MAE, m.RMSE, m.Linf, m.R2)
+}
+
+// mapeEps is the denominator floor protecting MAPE at zero targets,
+// matching loss.MAPE's guard.
+const mapeEps = 1e-8
+
+// computeFlat evaluates the metrics over two flat slices.
+func computeFlat(pred, target []float64) Metrics {
+	n := float64(len(pred))
+	if len(pred) != len(target) || len(pred) == 0 {
+		panic(fmt.Sprintf("stats: metric input lengths %d vs %d", len(pred), len(target)))
+	}
+	var m Metrics
+	meanT := 0.0
+	for _, v := range target {
+		meanT += v
+	}
+	meanT /= n
+	ssTot := 0.0
+	for i, p := range pred {
+		t := target[i]
+		d := p - t
+		ad := math.Abs(d)
+		den := math.Abs(t)
+		if den < mapeEps {
+			den = mapeEps
+		}
+		m.MAPE += ad / den
+		m.MSE += d * d
+		m.MAE += ad
+		if ad > m.Linf {
+			m.Linf = ad
+		}
+		dt := t - meanT
+		ssTot += dt * dt
+	}
+	m.MAPE *= 100 / n
+	m.MSE /= n
+	m.MAE /= n
+	m.RMSE = math.Sqrt(m.MSE)
+	if ssTot > 0 {
+		m.R2 = 1 - m.MSE*n/ssTot
+	} else if m.MSE == 0 {
+		m.R2 = 1
+	}
+	return m
+}
+
+// Compute evaluates the metrics over entire tensors (any shape).
+func Compute(pred, target *tensor.Tensor) Metrics {
+	if !pred.SameShape(target) {
+		panic(fmt.Sprintf("stats: Compute shape mismatch %v vs %v", pred.Shape(), target.Shape()))
+	}
+	return computeFlat(pred.Data(), target.Data())
+}
+
+// PerChannel evaluates the metrics separately for each channel of CHW
+// or NCHW tensors — the per-field comparison of Fig. 3.
+func PerChannel(pred, target *tensor.Tensor) []Metrics {
+	if !pred.SameShape(target) {
+		panic(fmt.Sprintf("stats: PerChannel shape mismatch %v vs %v", pred.Shape(), target.Shape()))
+	}
+	var c, hw, batch int
+	switch pred.Rank() {
+	case 3:
+		c, hw, batch = pred.Dim(0), pred.Dim(1)*pred.Dim(2), 1
+	case 4:
+		c, hw, batch = pred.Dim(1), pred.Dim(2)*pred.Dim(3), pred.Dim(0)
+	default:
+		panic(fmt.Sprintf("stats: PerChannel needs CHW or NCHW, got %v", pred.Shape()))
+	}
+	out := make([]Metrics, c)
+	pd, td := pred.Data(), target.Data()
+	for ch := 0; ch < c; ch++ {
+		ps := make([]float64, 0, batch*hw)
+		ts := make([]float64, 0, batch*hw)
+		for b := 0; b < batch; b++ {
+			base := (b*c + ch) * hw
+			ps = append(ps, pd[base:base+hw]...)
+			ts = append(ts, td[base:base+hw]...)
+		}
+		out[ch] = computeFlat(ps, ts)
+	}
+	return out
+}

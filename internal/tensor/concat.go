@@ -1,0 +1,70 @@
+package tensor
+
+import "fmt"
+
+// ConcatChannels concatenates NCHW tensors along the channel
+// dimension. All inputs must agree in batch and spatial dimensions.
+// It is the building block of the temporal-window models: a window of
+// k 4-channel snapshots becomes one 4k-channel input.
+func ConcatChannels(parts ...*Tensor) *Tensor {
+	if len(parts) == 0 {
+		panic("tensor: ConcatChannels of nothing")
+	}
+	first := parts[0]
+	if first.Rank() != 4 {
+		panic(fmt.Sprintf("tensor: ConcatChannels needs rank-4 NCHW tensors, got %v", first.shape))
+	}
+	n, h, w := first.shape[0], first.shape[2], first.shape[3]
+	totalC := 0
+	for _, p := range parts {
+		if p.Rank() != 4 || p.shape[0] != n || p.shape[2] != h || p.shape[3] != w {
+			panic(fmt.Sprintf("tensor: ConcatChannels shape mismatch %v vs %v", p.shape, first.shape))
+		}
+		totalC += p.shape[1]
+	}
+	out := New(n, totalC, h, w)
+	hw := h * w
+	for in := 0; in < n; in++ {
+		off := 0
+		for _, p := range parts {
+			c := p.shape[1]
+			src := p.data[in*c*hw : (in+1)*c*hw]
+			dst := out.data[(in*totalC+off)*hw : (in*totalC+off+c)*hw]
+			copy(dst, src)
+			off += c
+		}
+	}
+	return out
+}
+
+// SplitChannels is the inverse of ConcatChannels: it cuts an NCHW
+// tensor into pieces with the given channel counts.
+func SplitChannels(t *Tensor, counts ...int) []*Tensor {
+	if t.Rank() != 4 {
+		panic(fmt.Sprintf("tensor: SplitChannels needs rank-4 NCHW tensor, got %v", t.shape))
+	}
+	sum := 0
+	for _, c := range counts {
+		if c <= 0 {
+			panic("tensor: SplitChannels non-positive channel count")
+		}
+		sum += c
+	}
+	if sum != t.shape[1] {
+		panic(fmt.Sprintf("tensor: SplitChannels counts %v do not sum to %d channels", counts, t.shape[1]))
+	}
+	n, h, w := t.shape[0], t.shape[2], t.shape[3]
+	hw := h * w
+	out := make([]*Tensor, len(counts))
+	off := 0
+	for i, c := range counts {
+		piece := New(n, c, h, w)
+		for in := 0; in < n; in++ {
+			src := t.data[(in*t.shape[1]+off)*hw : (in*t.shape[1]+off+c)*hw]
+			copy(piece.data[in*c*hw:(in+1)*c*hw], src)
+		}
+		out[i] = piece
+		off += c
+	}
+	return out
+}

@@ -1,0 +1,51 @@
+package tensor
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestConcatSplitChannels(t *testing.T) {
+	g := NewRNG(1)
+	a := Normal(g, 0, 1, 2, 3, 4, 5)
+	b := Normal(g, 0, 1, 2, 2, 4, 5)
+	cat := ConcatChannels(a, b)
+	if cat.Dim(0) != 2 || cat.Dim(1) != 5 || cat.Dim(2) != 4 || cat.Dim(3) != 5 {
+		t.Fatalf("concat shape %v", cat.Shape())
+	}
+	// Content placement: channel 3 of cat = channel 0 of b.
+	if cat.At(1, 3, 2, 2) != b.At(1, 0, 2, 2) {
+		t.Fatalf("concat misplaced data")
+	}
+	parts := SplitChannels(cat, 3, 2)
+	if !parts[0].Equal(a) || !parts[1].Equal(b) {
+		t.Fatalf("split(concat) != identity")
+	}
+}
+
+// Property: concat-then-split is the identity for random splits.
+func TestQuickConcatSplitIdentity(t *testing.T) {
+	f := func(seed int64, c1Raw, c2Raw uint8) bool {
+		c1 := int(c1Raw%4) + 1
+		c2 := int(c2Raw%4) + 1
+		g := NewRNG(seed)
+		a := Normal(g, 0, 1, 2, c1, 3, 3)
+		b := Normal(g, 0, 1, 2, c2, 3, 3)
+		parts := SplitChannels(ConcatChannels(a, b), c1, c2)
+		return parts[0].Equal(a) && parts[1].Equal(b)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestConcatValidation(t *testing.T) {
+	g := NewRNG(2)
+	a := Normal(g, 0, 1, 1, 2, 3, 3)
+	b := Normal(g, 0, 1, 1, 2, 4, 3) // spatial mismatch
+	assertPanics(t, func() { ConcatChannels(a, b) })
+	assertPanics(t, func() { ConcatChannels() })
+	assertPanics(t, func() { SplitChannels(a, 3) })
+	assertPanics(t, func() { SplitChannels(a, 2, 0) })
+	assertPanics(t, func() { ConcatChannels(Normal(g, 0, 1, 2, 3)) })
+}

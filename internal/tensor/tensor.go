@@ -1,0 +1,427 @@
+// Package tensor implements a dense, row-major, float64 N-dimensional
+// tensor. It is the numerical substrate for the neural-network stack in
+// this repository: layers, optimizers and losses all operate on *Tensor
+// values.
+//
+// The implementation is deliberately simple and allocation-conscious:
+// tensors are always contiguous and row-major, so most operations are
+// flat loops over the backing slice. That keeps per-op overhead low and
+// makes hand-written backward passes easy to verify.
+package tensor
+
+import (
+	"fmt"
+	"math"
+)
+
+// Tensor is a dense, contiguous, row-major N-dimensional array of
+// float64 values. The zero value is not usable; construct tensors with
+// New, FromSlice, Zeros, or the random constructors in random.go.
+type Tensor struct {
+	shape   []int
+	strides []int
+	data    []float64
+}
+
+// New allocates a zero-filled tensor with the given shape.
+// It panics if any dimension is negative or the shape is empty.
+func New(shape ...int) *Tensor {
+	n := checkShape(shape)
+	t := &Tensor{
+		shape: append([]int(nil), shape...),
+		data:  make([]float64, n),
+	}
+	t.strides = computeStrides(t.shape)
+	return t
+}
+
+// FromSlice wraps data in a tensor of the given shape. The slice is used
+// directly (not copied); the caller must not alias it afterwards unless
+// that sharing is intended. It panics if len(data) does not match the
+// shape volume.
+func FromSlice(data []float64, shape ...int) *Tensor {
+	n := checkShape(shape)
+	if len(data) != n {
+		panic(fmt.Sprintf("tensor: FromSlice data length %d does not match shape %v (need %d)", len(data), shape, n))
+	}
+	t := &Tensor{
+		shape: append([]int(nil), shape...),
+		data:  data,
+	}
+	t.strides = computeStrides(t.shape)
+	return t
+}
+
+// Zeros is an alias for New, provided for readability at call sites that
+// emphasize the initial value.
+func Zeros(shape ...int) *Tensor { return New(shape...) }
+
+// Ones allocates a tensor with every element set to 1.
+func Ones(shape ...int) *Tensor { return Full(1, shape...) }
+
+// Full allocates a tensor with every element set to v.
+func Full(v float64, shape ...int) *Tensor {
+	t := New(shape...)
+	for i := range t.data {
+		t.data[i] = v
+	}
+	return t
+}
+
+func checkShape(shape []int) int {
+	if len(shape) == 0 {
+		panic("tensor: empty shape")
+	}
+	n := 1
+	for _, d := range shape {
+		if d < 0 {
+			panic(fmt.Sprintf("tensor: negative dimension in shape %v", shape))
+		}
+		n *= d
+	}
+	return n
+}
+
+func computeStrides(shape []int) []int {
+	strides := make([]int, len(shape))
+	s := 1
+	for i := len(shape) - 1; i >= 0; i-- {
+		strides[i] = s
+		s *= shape[i]
+	}
+	return strides
+}
+
+// Shape returns a copy of the tensor's dimensions.
+func (t *Tensor) Shape() []int { return append([]int(nil), t.shape...) }
+
+// Dim returns the size of dimension i.
+func (t *Tensor) Dim(i int) int { return t.shape[i] }
+
+// Rank returns the number of dimensions.
+func (t *Tensor) Rank() int { return len(t.shape) }
+
+// Size returns the total number of elements.
+func (t *Tensor) Size() int { return len(t.data) }
+
+// Data returns the backing slice. Mutating it mutates the tensor.
+func (t *Tensor) Data() []float64 { return t.data }
+
+// Strides returns a copy of the row-major strides.
+func (t *Tensor) Strides() []int { return append([]int(nil), t.strides...) }
+
+// Offset converts a multi-dimensional index to a flat offset.
+// It panics on rank mismatch or out-of-range indices.
+func (t *Tensor) Offset(idx ...int) int {
+	if len(idx) != len(t.shape) {
+		panic(fmt.Sprintf("tensor: index rank %d does not match tensor rank %d", len(idx), len(t.shape)))
+	}
+	off := 0
+	for i, x := range idx {
+		if x < 0 || x >= t.shape[i] {
+			panic(fmt.Sprintf("tensor: index %v out of range for shape %v", idx, t.shape))
+		}
+		off += x * t.strides[i]
+	}
+	return off
+}
+
+// At returns the element at the given multi-dimensional index.
+func (t *Tensor) At(idx ...int) float64 { return t.data[t.Offset(idx...)] }
+
+// Set assigns v at the given multi-dimensional index.
+func (t *Tensor) Set(v float64, idx ...int) { t.data[t.Offset(idx...)] = v }
+
+// Clone returns a deep copy of t.
+func (t *Tensor) Clone() *Tensor {
+	c := New(t.shape...)
+	copy(c.data, t.data)
+	return c
+}
+
+// CopyFrom copies src's data into t. Shapes must have equal volume;
+// the shape of t is preserved.
+func (t *Tensor) CopyFrom(src *Tensor) {
+	if len(t.data) != len(src.data) {
+		panic(fmt.Sprintf("tensor: CopyFrom size mismatch %d vs %d", len(t.data), len(src.data)))
+	}
+	copy(t.data, src.data)
+}
+
+// Reshape returns a tensor sharing t's data with a new shape of equal
+// volume. It panics if the volumes differ.
+func (t *Tensor) Reshape(shape ...int) *Tensor {
+	n := checkShape(shape)
+	if n != len(t.data) {
+		panic(fmt.Sprintf("tensor: cannot reshape %v (%d elems) to %v (%d elems)", t.shape, len(t.data), shape, n))
+	}
+	r := &Tensor{shape: append([]int(nil), shape...), data: t.data}
+	r.strides = computeStrides(r.shape)
+	return r
+}
+
+// Fill sets every element to v.
+func (t *Tensor) Fill(v float64) {
+	for i := range t.data {
+		t.data[i] = v
+	}
+}
+
+// Zero sets every element to 0.
+func (t *Tensor) Zero() {
+	for i := range t.data {
+		t.data[i] = 0
+	}
+}
+
+// SameShape reports whether t and o have identical shapes.
+func (t *Tensor) SameShape(o *Tensor) bool {
+	if len(t.shape) != len(o.shape) {
+		return false
+	}
+	for i := range t.shape {
+		if t.shape[i] != o.shape[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func (t *Tensor) mustSameShape(o *Tensor, op string) {
+	if !t.SameShape(o) {
+		panic(fmt.Sprintf("tensor: %s shape mismatch %v vs %v", op, t.shape, o.shape))
+	}
+}
+
+// Add returns t + o elementwise as a new tensor.
+func (t *Tensor) Add(o *Tensor) *Tensor {
+	t.mustSameShape(o, "Add")
+	r := t.Clone()
+	for i, v := range o.data {
+		r.data[i] += v
+	}
+	return r
+}
+
+// AddInPlace adds o into t elementwise and returns t.
+func (t *Tensor) AddInPlace(o *Tensor) *Tensor {
+	t.mustSameShape(o, "AddInPlace")
+	for i, v := range o.data {
+		t.data[i] += v
+	}
+	return t
+}
+
+// Sub returns t - o elementwise as a new tensor.
+func (t *Tensor) Sub(o *Tensor) *Tensor {
+	t.mustSameShape(o, "Sub")
+	r := t.Clone()
+	for i, v := range o.data {
+		r.data[i] -= v
+	}
+	return r
+}
+
+// SubInPlace subtracts o from t elementwise and returns t.
+func (t *Tensor) SubInPlace(o *Tensor) *Tensor {
+	t.mustSameShape(o, "SubInPlace")
+	for i, v := range o.data {
+		t.data[i] -= v
+	}
+	return t
+}
+
+// Mul returns the elementwise (Hadamard) product t ⊙ o as a new tensor.
+func (t *Tensor) Mul(o *Tensor) *Tensor {
+	t.mustSameShape(o, "Mul")
+	r := t.Clone()
+	for i, v := range o.data {
+		r.data[i] *= v
+	}
+	return r
+}
+
+// MulInPlace multiplies o into t elementwise and returns t.
+func (t *Tensor) MulInPlace(o *Tensor) *Tensor {
+	t.mustSameShape(o, "MulInPlace")
+	for i, v := range o.data {
+		t.data[i] *= v
+	}
+	return t
+}
+
+// Div returns t / o elementwise as a new tensor.
+func (t *Tensor) Div(o *Tensor) *Tensor {
+	t.mustSameShape(o, "Div")
+	r := t.Clone()
+	for i, v := range o.data {
+		r.data[i] /= v
+	}
+	return r
+}
+
+// Scale returns c*t as a new tensor.
+func (t *Tensor) Scale(c float64) *Tensor {
+	r := t.Clone()
+	for i := range r.data {
+		r.data[i] *= c
+	}
+	return r
+}
+
+// ScaleInPlace multiplies every element by c and returns t.
+func (t *Tensor) ScaleInPlace(c float64) *Tensor {
+	for i := range t.data {
+		t.data[i] *= c
+	}
+	return t
+}
+
+// AddScaled performs t += c*o (axpy) and returns t.
+func (t *Tensor) AddScaled(c float64, o *Tensor) *Tensor {
+	t.mustSameShape(o, "AddScaled")
+	for i, v := range o.data {
+		t.data[i] += c * v
+	}
+	return t
+}
+
+// Apply returns a new tensor with f applied to every element.
+func (t *Tensor) Apply(f func(float64) float64) *Tensor {
+	r := t.Clone()
+	for i, v := range r.data {
+		r.data[i] = f(v)
+	}
+	return r
+}
+
+// ApplyInPlace applies f to every element in place and returns t.
+func (t *Tensor) ApplyInPlace(f func(float64) float64) *Tensor {
+	for i, v := range t.data {
+		t.data[i] = f(v)
+	}
+	return t
+}
+
+// Sum returns the sum of all elements.
+func (t *Tensor) Sum() float64 {
+	s := 0.0
+	for _, v := range t.data {
+		s += v
+	}
+	return s
+}
+
+// Mean returns the arithmetic mean of all elements (0 for empty tensors).
+func (t *Tensor) Mean() float64 {
+	if len(t.data) == 0 {
+		return 0
+	}
+	return t.Sum() / float64(len(t.data))
+}
+
+// Max returns the maximum element. It panics on empty tensors.
+func (t *Tensor) Max() float64 {
+	if len(t.data) == 0 {
+		panic("tensor: Max of empty tensor")
+	}
+	m := t.data[0]
+	for _, v := range t.data[1:] {
+		if v > m {
+			m = v
+		}
+	}
+	return m
+}
+
+// Min returns the minimum element. It panics on empty tensors.
+func (t *Tensor) Min() float64 {
+	if len(t.data) == 0 {
+		panic("tensor: Min of empty tensor")
+	}
+	m := t.data[0]
+	for _, v := range t.data[1:] {
+		if v < m {
+			m = v
+		}
+	}
+	return m
+}
+
+// AbsMax returns max |t_i|, or 0 for empty tensors.
+func (t *Tensor) AbsMax() float64 {
+	m := 0.0
+	for _, v := range t.data {
+		if a := math.Abs(v); a > m {
+			m = a
+		}
+	}
+	return m
+}
+
+// Norm2 returns the Euclidean (Frobenius) norm of t.
+func (t *Tensor) Norm2() float64 {
+	s := 0.0
+	for _, v := range t.data {
+		s += v * v
+	}
+	return math.Sqrt(s)
+}
+
+// Dot returns the inner product of t and o viewed as flat vectors.
+func (t *Tensor) Dot(o *Tensor) float64 {
+	if len(t.data) != len(o.data) {
+		panic(fmt.Sprintf("tensor: Dot size mismatch %d vs %d", len(t.data), len(o.data)))
+	}
+	s := 0.0
+	for i, v := range t.data {
+		s += v * o.data[i]
+	}
+	return s
+}
+
+// Equal reports exact elementwise equality of shape and data.
+func (t *Tensor) Equal(o *Tensor) bool {
+	if !t.SameShape(o) {
+		return false
+	}
+	for i, v := range t.data {
+		if v != o.data[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// AllClose reports whether every element of t is within tol of the
+// corresponding element of o (absolute tolerance).
+func (t *Tensor) AllClose(o *Tensor, tol float64) bool {
+	if !t.SameShape(o) {
+		return false
+	}
+	for i, v := range t.data {
+		if math.Abs(v-o.data[i]) > tol {
+			return false
+		}
+	}
+	return true
+}
+
+// HasNaN reports whether any element is NaN or ±Inf.
+func (t *Tensor) HasNaN() bool {
+	for _, v := range t.data {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return true
+		}
+	}
+	return false
+}
+
+// String implements fmt.Stringer with a compact summary.
+func (t *Tensor) String() string {
+	if len(t.data) <= 8 {
+		return fmt.Sprintf("Tensor%v%v", t.shape, t.data)
+	}
+	return fmt.Sprintf("Tensor%v[%g %g %g ... %g] n=%d", t.shape,
+		t.data[0], t.data[1], t.data[2], t.data[len(t.data)-1], len(t.data))
+}
