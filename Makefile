@@ -1,0 +1,36 @@
+# Single source of truth for the build/verify commands: CI
+# (.github/workflows/ci.yml) and humans run the identical targets.
+
+GO ?= go
+
+.PHONY: build test vet fmt race bench bench-smoke ci
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+vet:
+	$(GO) vet ./...
+
+# Fails when any file is not gofmt-clean (prints the offenders).
+fmt:
+	@out="$$(gofmt -l .)"; \
+	if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; \
+	fi
+
+race:
+	$(GO) test -race ./...
+
+# Full benchmark sweep (regenerates every paper exhibit; slow).
+bench:
+	$(GO) test -run '^$$' -bench . -benchmem -timeout 60m .
+
+# One iteration of every benchmark: proves the harness stays runnable
+# without paying for statistically meaningful numbers.
+bench-smoke:
+	$(GO) test -run '^$$' -bench . -benchtime 1x -timeout 30m .
+
+ci: build fmt vet test race bench-smoke

@@ -17,6 +17,7 @@ import (
 	"repro/internal/dataset"
 	"repro/internal/grid"
 	"repro/internal/mpi"
+	"repro/internal/nn"
 	"repro/internal/stats"
 )
 
@@ -31,6 +32,8 @@ func main() {
 		startAt   = flag.Int("start", -1, "snapshot index to start from (-1 = first validation snapshot)")
 		trainFrac = flag.Float64("trainfrac", 2.0/3.0, "train fraction used at training time")
 		network   = flag.String("network", "ethernet", "virtual network model: ethernet | infiniband | none")
+		workers   = flag.Int("workers", 1, "intra-layer parallelism of the convolution kernels (results are bit-identical for any value)")
+		backend   = flag.String("conv", "gemm", "convolution engine: gemm (im2col fast path) | naive (reference loops)")
 	)
 	flag.Parse()
 
@@ -44,10 +47,20 @@ func main() {
 	}
 	nds := dataset.NormalizeDataset(ds, norm)
 
+	switch *backend {
+	case "gemm":
+		nn.Backend = nn.FastPath
+	case "naive":
+		nn.Backend = nn.SlowPath
+	default:
+		log.Fatalf("unknown convolution engine %q", *backend)
+	}
+
 	e, err := core.LoadEnsemble(*ckptDir)
 	if err != nil {
 		log.Fatal(err)
 	}
+	e.SetWorkers(*workers)
 	fmt.Printf("ensemble: %dx%d ranks on %dx%d grid, strategy %v\n",
 		e.Partition.Px, e.Partition.Py, e.Partition.Nx, e.Partition.Ny, e.ModelCfg.Strategy)
 

@@ -21,6 +21,7 @@ import (
 	"repro/internal/grid"
 	"repro/internal/model"
 	"repro/internal/mpi"
+	"repro/internal/nn"
 	"repro/internal/stats"
 )
 
@@ -43,6 +44,8 @@ func main() {
 		window     = flag.Int("window", 1, "temporal window: stack this many consecutive snapshots as network input (paper §V future work)")
 		outDir     = flag.String("out", "ckpt", "checkpoint output directory")
 		concurrent = flag.Bool("concurrent", false, "execute ranks concurrently (goroutines) instead of critical-path timing mode")
+		workers    = flag.Int("workers", 1, "intra-layer parallelism of the convolution kernels (results are bit-identical for any value)")
+		backend    = flag.String("conv", "gemm", "convolution engine: gemm (im2col fast path) | naive (reference loops)")
 	)
 	flag.Parse()
 
@@ -67,7 +70,16 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
+	switch *backend {
+	case "gemm":
+		nn.Backend = nn.FastPath
+	case "naive":
+		nn.Backend = nn.SlowPath
+	default:
+		log.Fatalf("unknown convolution engine %q", *backend)
+	}
 	cfg := core.DefaultTrainConfig()
+	cfg.Workers = *workers
 	cfg.Epochs = *epochs
 	cfg.BatchSize = *batch
 	cfg.LR = *lr

@@ -7,8 +7,12 @@
 // halo exchange at inference time — lives in internal/core. Every
 // substrate it needs is implemented in this module:
 //
-//   - internal/tensor — dense float64 N-d tensors
-//   - internal/nn     — CNN layers with hand-derived backprop
+//   - internal/tensor — dense float64 N-d tensors and the GEMM +
+//     im2col convolution engine (blocked panel kernels with AVX2/
+//     AVX-512 FMA assembly on amd64 and a portable fallback)
+//   - internal/nn     — CNN layers with hand-derived backprop, a
+//     fast-path/slow-path engine switch (DESIGN.md §3) and reusable
+//     scratch arenas
 //   - internal/opt    — SGD / momentum / RMSProp / ADAM (paper Eq. 3–6)
 //   - internal/loss   — MSE / MAE / MAPE (paper Eq. 7) / SMAPE / Huber
 //   - internal/mpi    — goroutine message-passing runtime with MPI

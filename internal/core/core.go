@@ -53,6 +53,12 @@ type TrainConfig struct {
 	// direction of feeding time-series; Model.Channels[0] must then be
 	// window · grid.NumChannels.
 	TemporalWindow int
+	// Workers enables intra-layer parallelism inside each rank's
+	// convolution kernels (0 or 1 = single-threaded, the default the
+	// critical-path timing model assumes; see DESIGN.md §5). Results
+	// are bit-identical for any value, so this only trades goroutines
+	// for per-rank wall-clock on multi-core nodes.
+	Workers int
 }
 
 // DefaultTrainConfig returns the paper's training setup: Table-I CNN,
@@ -83,6 +89,9 @@ func (c TrainConfig) Validate() error {
 	}
 	if c.TemporalWindow < 0 {
 		return fmt.Errorf("core: negative temporal window %d", c.TemporalWindow)
+	}
+	if c.Workers < 0 {
+		return fmt.Errorf("core: negative workers %d", c.Workers)
 	}
 	if w := c.Window(); c.Model.Channels[0] != w*grid.NumChannels {
 		return fmt.Errorf("core: temporal window %d needs %d input channels, model has %d",
@@ -158,6 +167,12 @@ func trainOne(samples []dataset.Sample, cfg TrainConfig, modelSeed, shuffleSeed 
 	if err != nil {
 		return nil, nil, err
 	}
+	// One shared scratch arena per rank model: the convolution layers'
+	// im2col panels all come from it, so a whole epoch reuses the same
+	// few buffers. The Workers knob fans the panel GEMMs out without
+	// changing results.
+	m.SetScratch(nn.NewArena())
+	m.SetWorkers(cfg.Workers)
 	optimizer, err := NewOptimizer(cfg.Optimizer, cfg.lr())
 	if err != nil {
 		return nil, nil, err

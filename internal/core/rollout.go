@@ -31,6 +31,17 @@ func (e *Ensemble) window() int {
 	return e.Window
 }
 
+// SetWorkers sets the intra-layer parallelism knob on every rank's
+// network (see nn.Sequential.SetWorkers); results are bit-identical
+// for any value.
+func (e *Ensemble) SetWorkers(workers int) {
+	for _, m := range e.Models {
+		if m != nil {
+			m.SetWorkers(workers)
+		}
+	}
+}
+
 // Validate reports structural problems.
 func (e *Ensemble) Validate() error {
 	if e.Partition == nil {
@@ -191,6 +202,10 @@ func (e *Ensemble) RolloutSeq(initials []*tensor.Tensor, steps int, netModel *mp
 		b := p.BlockOfRank(r)
 		hist := histories[r] // extended frames, oldest first
 		net := e.Models[r]
+		// One scratch arena per rank for the whole rollout: after the
+		// first step has sized its chunks, the convolution lowering of
+		// every later step allocates nothing (§IV time-stepping loop).
+		net.SetScratch(nn.NewArena())
 		for s := 0; s < steps; s++ {
 			in := hist[0]
 			if window > 1 {
@@ -298,6 +313,7 @@ func SerialRollout(net *nn.Sequential, cfg model.Config, initial *tensor.Tensor,
 	c, h, w := initial.Dim(0), initial.Dim(1), initial.Dim(2)
 	halo := cfg.Halo()
 	state := initial.Clone().Reshape(1, c, h, w)
+	net.SetScratch(nn.NewArena())
 	out := make([]*tensor.Tensor, steps)
 	for s := 0; s < steps; s++ {
 		in := state

@@ -9,10 +9,18 @@ import (
 
 // LeakyReLU is the paper's activation (Eq. 2): σ(x) = x for x ≥ 0 and
 // εx for x < 0, with a constant ε (the paper uses ε = 0.01).
+//
+// Backward only needs the sign of the input, which equals the sign of
+// the output, so Forward records a byte mask of the negative lanes in
+// a persistent layer-owned buffer instead of cloning the input: one
+// allocation (the output) and one fused pass per call, which matters
+// because the activation sits between every pair of convolutions on
+// the rollout hot path.
 type LeakyReLU struct {
-	Epsilon    float64
-	cacheInput *tensor.Tensor
-	name       string
+	Epsilon   float64
+	negMask   []uint8 // 1 where the last input was negative
+	haveCache bool
+	name      string
 }
 
 // NewLeakyReLU builds the activation with the given negative slope.
@@ -31,28 +39,41 @@ func (l *LeakyReLU) Params() []*Param { return nil }
 
 // Forward implements Layer.
 func (l *LeakyReLU) Forward(x *tensor.Tensor) *tensor.Tensor {
-	l.cacheInput = x.Clone()
-	eps := l.Epsilon
-	return x.Apply(func(v float64) float64 {
-		if v >= 0 {
-			return v
-		}
-		return eps * v
-	})
+	if cap(l.negMask) < x.Size() {
+		l.negMask = make([]uint8, x.Size())
+	}
+	mask := l.negMask[:x.Size()]
+	y := tensor.New(x.Shape()...)
+	xd, yd := x.Data(), y.Data()
+	// Branch-free select: the sign bit picks the slope, so the loop
+	// runs at streaming speed regardless of how the signs are mixed
+	// (a sign-conditional branch mispredicts ~50% on activations).
+	// −0.0 therefore lands on the ε side; its forward value is
+	// unchanged (ε·−0 = −0) and Backward documents the subgradient
+	// convention.
+	scale := [2]float64{1, l.Epsilon}
+	for i, v := range xd {
+		neg := uint8(math.Float64bits(v) >> 63)
+		mask[i] = neg
+		yd[i] = v * scale[neg&1]
+	}
+	l.haveCache = true
+	return y
 }
 
-// Backward implements Layer. The subgradient at exactly 0 is taken as
-// 1 (the paper notes the choice is immaterial in practice).
+// Backward implements Layer. The subgradient at zero follows the
+// sign-bit convention of the mask: 1 at +0 and ε at −0 (the paper
+// notes the choice at the kink is immaterial in practice; PyTorch,
+// for comparison, uses ε at both zeros).
 func (l *LeakyReLU) Backward(gradOut *tensor.Tensor) *tensor.Tensor {
-	if l.cacheInput == nil {
+	if !l.haveCache {
 		panic(fmt.Sprintf("nn: LeakyReLU %s Backward before Forward", l.name))
 	}
-	x := l.cacheInput
-	l.cacheInput = nil
+	l.haveCache = false
 	out := gradOut.Clone()
-	od, xd := out.Data(), x.Data()
+	od, mask := out.Data(), l.negMask[:gradOut.Size()]
 	for i := range od {
-		if xd[i] < 0 {
+		if mask[i] != 0 {
 			od[i] *= l.Epsilon
 		}
 	}
@@ -60,10 +81,12 @@ func (l *LeakyReLU) Backward(gradOut *tensor.Tensor) *tensor.Tensor {
 }
 
 // ReLU is the plain rectifier (Eq. 1), provided for the activation
-// ablation.
+// ablation. Like LeakyReLU it caches a byte mask of the clipped lanes
+// instead of cloning its input.
 type ReLU struct {
-	cacheInput *tensor.Tensor
-	name       string
+	negMask   []uint8
+	haveCache bool
+	name      string
 }
 
 // NewReLU builds a ReLU activation.
@@ -77,21 +100,35 @@ func (l *ReLU) Params() []*Param { return nil }
 
 // Forward implements Layer.
 func (l *ReLU) Forward(x *tensor.Tensor) *tensor.Tensor {
-	l.cacheInput = x.Clone()
-	return x.Apply(func(v float64) float64 { return math.Max(0, v) })
+	if cap(l.negMask) < x.Size() {
+		l.negMask = make([]uint8, x.Size())
+	}
+	mask := l.negMask[:x.Size()]
+	y := tensor.New(x.Shape()...)
+	xd, yd := x.Data(), y.Data()
+	for i, v := range xd {
+		if v < 0 {
+			yd[i] = 0
+			mask[i] = 1
+		} else {
+			yd[i] = v
+			mask[i] = 0
+		}
+	}
+	l.haveCache = true
+	return y
 }
 
 // Backward implements Layer.
 func (l *ReLU) Backward(gradOut *tensor.Tensor) *tensor.Tensor {
-	if l.cacheInput == nil {
+	if !l.haveCache {
 		panic(fmt.Sprintf("nn: ReLU %s Backward before Forward", l.name))
 	}
-	x := l.cacheInput
-	l.cacheInput = nil
+	l.haveCache = false
 	out := gradOut.Clone()
-	od, xd := out.Data(), x.Data()
+	od, mask := out.Data(), l.negMask[:gradOut.Size()]
 	for i := range od {
-		if xd[i] < 0 {
+		if mask[i] != 0 {
 			od[i] = 0
 		}
 	}

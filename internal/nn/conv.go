@@ -6,6 +6,42 @@ import (
 	"repro/internal/tensor"
 )
 
+// ConvBackend selects between the two convolution engines (DESIGN.md
+// §3): the default FastPath lowers every convolution to a blocked
+// matrix product via im2col, SlowPath keeps the original nested loops
+// as an independently-derived reference implementation. The two agree
+// to float round-off on forward results and on all gradients — the
+// crosscheck tests assert it — so the switch is a debugging and
+// benchmarking aid, never a semantic choice.
+type ConvBackend int
+
+const (
+	// FastPath routes Conv2D and ConvTranspose2D through the im2col +
+	// GEMM engine in internal/tensor (gemm.go, im2col.go).
+	FastPath ConvBackend = iota
+	// SlowPath uses the naive 6-deep loop nests, kept as the readable
+	// reference the fast path is validated against.
+	SlowPath
+)
+
+// String implements fmt.Stringer.
+func (b ConvBackend) String() string {
+	switch b {
+	case FastPath:
+		return "gemm"
+	case SlowPath:
+		return "naive"
+	}
+	return fmt.Sprintf("ConvBackend(%d)", int(b))
+}
+
+// Backend is the package-level switch selecting the convolution
+// engine. It is read once at the start of each Forward (Backward
+// follows whatever path its Forward took), so flipping it between a
+// Forward/Backward pair is safe; flipping it while other goroutines
+// are inside Forward is not.
+var Backend = FastPath
+
 // Conv2D is a stride-1 two-dimensional convolution layer operating on
 // NCHW tensors, the workhorse of the paper's Table-I architecture.
 //
@@ -22,17 +58,27 @@ type Conv2D struct {
 	Kernel      int
 	Pad         int
 
-	// Workers enables intra-layer parallelism: the forward pass fans
-	// out over (batch × output channel) tasks and the backward pass
-	// over input channels. 0 or 1 (the default) keeps the layer
-	// strictly single-threaded, which the critical-path timing model
-	// relies on; results are bit-identical either way.
+	// Workers enables intra-layer parallelism. On the GEMM fast path
+	// the forward pass fans output-column tiles out to goroutines and
+	// the backward pass parallelizes row bands inside each panel
+	// product; on the naive slow path the forward pass fans out over
+	// (batch × output channel) tasks and the backward pass over input
+	// channels. 0 or 1 (the default) keeps the layer strictly
+	// single-threaded, which the critical-path timing model relies on
+	// (DESIGN.md §5); results are bit-identical either way.
 	Workers int
 
 	weight *Param // [Cout, Cin, K, K]
 	bias   *Param // [Cout]
 
-	cacheInput *tensor.Tensor // padded input from the last Forward
+	// cacheInput holds what Backward needs from the last Forward: a
+	// padded copy of the input on the slow path, a reference to the
+	// raw input on the fast path (which re-lowers it instead of
+	// padding). cacheFast records which, so a Backward always matches
+	// its own Forward even if the Backend switch moves in between.
+	cacheInput *tensor.Tensor
+	cacheFast  bool
+	scratch    *Arena // im2col workspace (never nil after NewConv2D)
 	name       string
 }
 
@@ -51,6 +97,7 @@ func NewConv2D(name string, g *tensor.RNG, inCh, outCh, kernel, pad int) *Conv2D
 		Pad:         pad,
 		weight:      NewParam(name+".weight", w),
 		bias:        NewParam(name+".bias", b),
+		scratch:     NewArena(),
 		name:        name,
 	}
 }
@@ -76,6 +123,18 @@ func (c *Conv2D) OutputShape(h, w int) (oh, ow int) {
 	return h + 2*c.Pad - c.Kernel + 1, w + 2*c.Pad - c.Kernel + 1
 }
 
+// SetScratch replaces the layer's private scratch arena with a shared
+// one (see Sequential.SetScratch). a must not be nil.
+func (c *Conv2D) SetScratch(a *Arena) {
+	if a == nil {
+		panic(fmt.Sprintf("nn: Conv2D %s SetScratch(nil)", c.name))
+	}
+	c.scratch = a
+}
+
+// SetWorkers sets the intra-layer parallelism knob.
+func (c *Conv2D) SetWorkers(workers int) { c.Workers = workers }
+
 // Forward implements Layer.
 func (c *Conv2D) Forward(x *tensor.Tensor) *tensor.Tensor {
 	if x.Rank() != 4 {
@@ -84,6 +143,9 @@ func (c *Conv2D) Forward(x *tensor.Tensor) *tensor.Tensor {
 	if x.Dim(1) != c.InChannels {
 		panic(fmt.Sprintf("nn: Conv2D %s expects %d input channels, got %d", c.name, c.InChannels, x.Dim(1)))
 	}
+	if Backend == FastPath {
+		return c.forwardGEMM(x)
+	}
 	xp := x
 	if c.Pad > 0 {
 		xp = tensor.Pad2D(x, c.Pad)
@@ -91,6 +153,7 @@ func (c *Conv2D) Forward(x *tensor.Tensor) *tensor.Tensor {
 		xp = x.Clone() // keep an immutable copy for backward
 	}
 	c.cacheInput = xp
+	c.cacheFast = false
 	return validConvForward(xp, c.weight.Value, c.bias.Value, c.Workers)
 }
 
@@ -99,12 +162,177 @@ func (c *Conv2D) Backward(gradOut *tensor.Tensor) *tensor.Tensor {
 	if c.cacheInput == nil {
 		panic(fmt.Sprintf("nn: Conv2D %s Backward before Forward", c.name))
 	}
+	if c.cacheFast {
+		return c.backwardGEMM(gradOut)
+	}
 	dxPadded := validConvBackward(c.cacheInput, c.weight.Value, gradOut, c.weight.Grad, c.bias.Grad, c.Workers)
 	c.cacheInput = nil
 	if c.Pad > 0 {
 		return tensor.Crop2D(dxPadded, c.Pad)
 	}
 	return dxPadded
+}
+
+// convTileCols returns the column-tile width of the tiled GEMM engine:
+// wide enough to amortize per-tile setup, narrow enough that one
+// [C·K² × tile] im2col panel (~512 KiB) stays L2-resident across the
+// whole reduction sweep — the locality property that makes the lowered
+// convolution faster than the naive loops instead of memory-bound.
+// The width depends only on the layer shape, never on the worker
+// count, so tiling preserves the engine's bit-identical-results
+// contract.
+func convTileCols(ckk, frame int) int {
+	const targetFloats = 1 << 16 // 512 KiB per panel
+	tw := targetFloats / ckk
+	tw &^= 7
+	if tw < 32 {
+		tw = 32
+	}
+	if tw > frame {
+		tw = frame
+	}
+	return tw
+}
+
+// forwardGEMM computes the convolution as matrix products over
+// cache-sized column tiles (DESIGN.md §3): each tile of output
+// positions is lowered with Im2ColWindow into a [Cin·K² × tile] panel
+// resident in the scratch arena, the kernel tensor is viewed as a
+// [Cout × Cin·K²] matrix, and the tile's output columns are
+// Y[:, tile] = W·panel + b. Padding is folded into the lowering, so no
+// padded input copy is ever materialized. With Workers > 1 the tiles
+// (whose output columns are disjoint) fan out to goroutines, each with
+// its own panel. The raw input is cached for Backward by reference,
+// making steady-state Forward calls allocation-free in the lowering —
+// only the output tensor itself is freshly allocated.
+func (c *Conv2D) forwardGEMM(x *tensor.Tensor) *tensor.Tensor {
+	n, cin, h, wid := x.Dim(0), x.Dim(1), x.Dim(2), x.Dim(3)
+	k, cout := c.Kernel, c.OutChannels
+	oh := tensor.ConvOutSize(h, k, c.Pad)
+	ow := tensor.ConvOutSize(wid, k, c.Pad)
+	if oh <= 0 || ow <= 0 {
+		panic(fmt.Sprintf("nn: conv input %dx%d smaller than kernel %d", h+2*c.Pad, wid+2*c.Pad, k))
+	}
+
+	// Cache the raw input by reference (Backward re-lowers it). This
+	// relies on the layer protocol's single-flight contract: the input
+	// must not be mutated between Forward and the matching Backward —
+	// true everywhere in this repository, where layer inputs are the
+	// previous layer's freshly built output.
+	c.cacheInput = x
+	c.cacheFast = true
+
+	ckk := tensor.Im2ColRows(cin, k)
+	frame := oh * ow
+	tw := convTileCols(ckk, frame)
+	ntiles := (frame + tw - 1) / tw
+	nw := c.Workers
+	if nw > ntiles {
+		nw = ntiles
+	}
+	if nw < 1 {
+		nw = 1
+	}
+
+	mark := c.scratch.Mark()
+	panels := make([][]float64, nw)
+	for w := range panels {
+		panels[w] = c.scratch.Alloc(ckk * tw)
+	}
+	defer c.scratch.Release(mark)
+
+	y := tensor.New(n, cout, oh, ow)
+	xd, wd, yd, bd := x.Data(), c.weight.Value.Data(), y.Data(), c.bias.Value.Data()
+	for in := 0; in < n; in++ {
+		xn := xd[in*cin*h*wid : (in+1)*cin*h*wid]
+		out := yd[in*cout*frame : (in+1)*cout*frame]
+		// Worker w sweeps its contiguous range of tiles with its own
+		// panel; tile output columns are disjoint, so any assignment of
+		// tiles to goroutines produces identical results.
+		parallelFor(nw, nw, func(w int) {
+			cols := panels[w]
+			for t := w * ntiles / nw; t < (w+1)*ntiles/nw; t++ {
+				j0 := t * tw
+				j1 := min(j0+tw, frame)
+				twa := j1 - j0
+				tensor.Im2ColWindow(xn, cin, h, wid, k, c.Pad, j0, j1, cols)
+				for co := 0; co < cout; co++ {
+					row := out[co*frame+j0 : co*frame+j1]
+					bv := bd[co]
+					for i := range row {
+						row[i] = bv
+					}
+				}
+				tensor.GemmPanelNN(cout, twa, ckk, wd, ckk, cols, twa, out[j0:], frame, true, 1)
+			}
+		})
+	}
+	return y
+}
+
+// backwardGEMM is the adjoint of forwardGEMM, again as matrix
+// products over column tiles: with the tile's output gradient dYt
+// viewed as the [Cout × tile] panel of dY,
+//
+//	dW  += dYt · panelᵀ         (GemmPanelNT)
+//	dpanel = Wᵀ · dYt           (GemmPanelTN)
+//	dx  += Col2ImWindow(dpanel) (adjoint of the lowering, drops padding)
+//
+// The patch panels are recomputed from the cached raw input — the full
+// lowering is ~K² times the input size, so re-lowering beats caching
+// it. Tiles run serially (their dW contributions and dx scatters
+// overlap); Workers > 1 parallelizes the row bands inside each GEMM,
+// which keeps every accumulation order fixed and results bit-identical
+// for any worker count.
+func (c *Conv2D) backwardGEMM(gradOut *tensor.Tensor) *tensor.Tensor {
+	x := c.cacheInput
+	c.cacheInput = nil
+	n, cin, h, wid := x.Dim(0), x.Dim(1), x.Dim(2), x.Dim(3)
+	k, cout := c.Kernel, c.OutChannels
+	oh := tensor.ConvOutSize(h, k, c.Pad)
+	ow := tensor.ConvOutSize(wid, k, c.Pad)
+	if gradOut.Dim(0) != n || gradOut.Dim(1) != cout || gradOut.Dim(2) != oh || gradOut.Dim(3) != ow {
+		panic(fmt.Sprintf("nn: conv backward shape mismatch x=%v w=%v dy=%v", x.Shape(), c.weight.Value.Shape(), gradOut.Shape()))
+	}
+
+	ckk := tensor.Im2ColRows(cin, k)
+	frame := oh * ow
+	tw := convTileCols(ckk, frame)
+	mark := c.scratch.Mark()
+	cols := c.scratch.Alloc(ckk * tw)
+	dcols := c.scratch.Alloc(ckk * tw)
+	defer c.scratch.Release(mark)
+
+	dx := tensor.New(n, cin, h, wid)
+	xd, wd, gd, dxd := x.Data(), c.weight.Value.Data(), gradOut.Data(), dx.Data()
+	dWd, dBd := c.weight.Grad.Data(), c.bias.Grad.Data()
+
+	// Bias gradient: sum of the output gradient per output channel.
+	for in := 0; in < n; in++ {
+		for co := 0; co < cout; co++ {
+			gBase := (in*cout + co) * frame
+			s := 0.0
+			for i := gBase; i < gBase+frame; i++ {
+				s += gd[i]
+			}
+			dBd[co] += s
+		}
+	}
+
+	for in := 0; in < n; in++ {
+		xn := xd[in*cin*h*wid : (in+1)*cin*h*wid]
+		dxn := dxd[in*cin*h*wid : (in+1)*cin*h*wid]
+		dy := gd[in*cout*frame : (in+1)*cout*frame]
+		for j0 := 0; j0 < frame; j0 += tw {
+			j1 := min(j0+tw, frame)
+			twa := j1 - j0
+			tensor.Im2ColWindow(xn, cin, h, wid, k, c.Pad, j0, j1, cols)
+			tensor.GemmPanelNT(cout, ckk, twa, dy[j0:], frame, cols, twa, dWd, ckk, true, c.Workers)
+			tensor.GemmPanelTN(ckk, twa, cout, wd, ckk, dy[j0:], frame, dcols, twa, false, c.Workers)
+			tensor.Col2ImWindow(dcols, cin, h, wid, k, c.Pad, j0, j1, dxn)
+		}
+	}
+	return dx
 }
 
 // validConvForward computes a stride-1 valid cross-correlation:

@@ -16,15 +16,27 @@ import (
 // The weight layout is [Cin, Cout, K, K] (the PyTorch ConvTranspose2d
 // convention): the forward map is exactly the adjoint of Conv2D's
 // valid cross-correlation with a [Cin→Cout] kernel.
+//
+// Like Conv2D, the layer has two engines selected by the package-level
+// Backend switch: the default fast path expresses the scatter as a
+// matrix product followed by Col2Im (and the backward pass as Im2Col
+// followed by two products), the slow path keeps the reference loops.
 type ConvTranspose2D struct {
 	InChannels  int
 	OutChannels int
 	Kernel      int
 
+	// Workers enables intra-layer parallelism of the GEMM engine;
+	// results are bit-identical for any value. The slow path ignores
+	// it (the reference loops stay strictly single-threaded).
+	Workers int
+
 	weight *Param // [Cin, Cout, K, K]
 	bias   *Param // [Cout]
 
 	cacheInput *tensor.Tensor
+	cacheFast  bool
+	scratch    *Arena
 	name       string
 }
 
@@ -43,6 +55,7 @@ func NewConvTranspose2D(name string, g *tensor.RNG, inCh, outCh, kernel int) *Co
 		Kernel:      kernel,
 		weight:      NewParam(name+".weight", w),
 		bias:        NewParam(name+".bias", b),
+		scratch:     NewArena(),
 		name:        name,
 	}
 }
@@ -58,6 +71,18 @@ func (c *ConvTranspose2D) OutputShape(h, w int) (oh, ow int) {
 	return h + c.Kernel - 1, w + c.Kernel - 1
 }
 
+// SetScratch replaces the layer's private scratch arena with a shared
+// one (see Sequential.SetScratch). a must not be nil.
+func (c *ConvTranspose2D) SetScratch(a *Arena) {
+	if a == nil {
+		panic(fmt.Sprintf("nn: ConvTranspose2D %s SetScratch(nil)", c.name))
+	}
+	c.scratch = a
+}
+
+// SetWorkers sets the intra-layer parallelism knob.
+func (c *ConvTranspose2D) SetWorkers(workers int) { c.Workers = workers }
+
 // Forward implements Layer:
 // y[n,co,iy+ky,ix+kx] += x[n,ci,iy,ix] · w[ci,co,ky,kx], plus bias.
 func (c *ConvTranspose2D) Forward(x *tensor.Tensor) *tensor.Tensor {
@@ -67,7 +92,11 @@ func (c *ConvTranspose2D) Forward(x *tensor.Tensor) *tensor.Tensor {
 	if x.Dim(1) != c.InChannels {
 		panic(fmt.Sprintf("nn: ConvTranspose2D %s expects %d input channels, got %d", c.name, c.InChannels, x.Dim(1)))
 	}
+	if Backend == FastPath {
+		return c.forwardGEMM(x)
+	}
 	c.cacheInput = x.Clone()
+	c.cacheFast = false
 	n, cin, h, wid := x.Dim(0), x.Dim(1), x.Dim(2), x.Dim(3)
 	k := c.Kernel
 	cout := c.OutChannels
@@ -113,6 +142,9 @@ func (c *ConvTranspose2D) Backward(gradOut *tensor.Tensor) *tensor.Tensor {
 	if c.cacheInput == nil {
 		panic(fmt.Sprintf("nn: ConvTranspose2D %s Backward before Forward", c.name))
 	}
+	if c.cacheFast {
+		return c.backwardGEMM(gradOut)
+	}
 	x := c.cacheInput
 	c.cacheInput = nil
 	n, cin, h, wid := x.Dim(0), x.Dim(1), x.Dim(2), x.Dim(3)
@@ -154,6 +186,107 @@ func (c *ConvTranspose2D) Backward(gradOut *tensor.Tensor) *tensor.Tensor {
 					}
 				}
 			}
+		}
+	}
+	return dx
+}
+
+// forwardGEMM expresses the scatter as linear algebra over cache-sized
+// column tiles of the input frame, per sample: with X viewed
+// [Cin × H·W] and W viewed [Cin × Cout·K²],
+//
+//	panel = Wᵀ · X[:, tile]          (GemmPanelTN, [Cout·K² × tile])
+//	y    += Col2ImWindow(panel)      (scatter; y prefilled with bias)
+//
+// which is exactly the adjoint of the Conv2D fast path with the roles
+// of image and output swapped: the transpose-conv output (size
+// OH = H+K-1) plays the "image" and the input plays the "conv output".
+// Tiles run serially — their scatters into y overlap — and Workers > 1
+// parallelizes row bands inside the GEMM, keeping results
+// bit-identical for any worker count.
+func (c *ConvTranspose2D) forwardGEMM(x *tensor.Tensor) *tensor.Tensor {
+	n, cin, h, wid := x.Dim(0), x.Dim(1), x.Dim(2), x.Dim(3)
+	k, cout := c.Kernel, c.OutChannels
+	oh, ow := h+k-1, wid+k-1
+
+	// Cache by reference (see Conv2D.forwardGEMM): the input must not
+	// be mutated between Forward and the matching Backward.
+	c.cacheInput = x
+	c.cacheFast = true
+
+	ckk := tensor.Im2ColRows(cout, k)
+	frame := h * wid
+	tw := convTileCols(ckk, frame)
+	mark := c.scratch.Mark()
+	cols := c.scratch.Alloc(ckk * tw)
+	defer c.scratch.Release(mark)
+
+	y := tensor.New(n, cout, oh, ow)
+	xd, wd, yd, bd := x.Data(), c.weight.Value.Data(), y.Data(), c.bias.Value.Data()
+	for in := 0; in < n; in++ {
+		out := yd[in*cout*oh*ow : (in+1)*cout*oh*ow]
+		for co := 0; co < cout; co++ {
+			row := out[co*oh*ow : (co+1)*oh*ow]
+			bv := bd[co]
+			for i := range row {
+				row[i] = bv
+			}
+		}
+		xn := xd[in*cin*frame : (in+1)*cin*frame]
+		for j0 := 0; j0 < frame; j0 += tw {
+			j1 := min(j0+tw, frame)
+			twa := j1 - j0
+			tensor.GemmPanelTN(ckk, twa, cin, wd, ckk, xn[j0:], frame, cols, twa, false, c.Workers)
+			tensor.Col2ImWindow(cols, cout, oh, ow, k, 0, j0, j1, out)
+		}
+	}
+	return y
+}
+
+// backwardGEMM mirrors forwardGEMM tile for tile: lowering the output
+// gradient with Im2ColWindow turns dx into a plain valid
+// cross-correlation and dW into a product with the cached input:
+//
+//	panelG       = Im2ColWindow(dY)   ([Cout·K² × tile])
+//	dx[:, tile]  = W · panelG         (GemmPanelNN)
+//	dW          += X[:, tile]·panelGᵀ (GemmPanelNT)
+func (c *ConvTranspose2D) backwardGEMM(gradOut *tensor.Tensor) *tensor.Tensor {
+	x := c.cacheInput
+	c.cacheInput = nil
+	n, cin, h, wid := x.Dim(0), x.Dim(1), x.Dim(2), x.Dim(3)
+	k, cout := c.Kernel, c.OutChannels
+	oh, ow := h+k-1, wid+k-1
+	if gradOut.Dim(0) != n || gradOut.Dim(1) != cout || gradOut.Dim(2) != oh || gradOut.Dim(3) != ow {
+		panic(fmt.Sprintf("nn: ConvTranspose2D backward shape mismatch x=%v dy=%v", x.Shape(), gradOut.Shape()))
+	}
+
+	ckk := tensor.Im2ColRows(cout, k)
+	frame := h * wid
+	tw := convTileCols(ckk, frame)
+	mark := c.scratch.Mark()
+	colsG := c.scratch.Alloc(ckk * tw)
+	defer c.scratch.Release(mark)
+
+	dx := tensor.New(n, cin, h, wid)
+	xd, wd, gd, dxd := x.Data(), c.weight.Value.Data(), gradOut.Data(), dx.Data()
+	dWd, dBd := c.weight.Grad.Data(), c.bias.Grad.Data()
+	for in := 0; in < n; in++ {
+		dy := gd[in*cout*oh*ow : (in+1)*cout*oh*ow]
+		for co := 0; co < cout; co++ {
+			s := 0.0
+			for _, v := range dy[co*oh*ow : (co+1)*oh*ow] {
+				s += v
+			}
+			dBd[co] += s
+		}
+		xn := xd[in*cin*frame : (in+1)*cin*frame]
+		dxn := dxd[in*cin*frame : (in+1)*cin*frame]
+		for j0 := 0; j0 < frame; j0 += tw {
+			j1 := min(j0+tw, frame)
+			twa := j1 - j0
+			tensor.Im2ColWindow(dy, cout, oh, ow, k, 0, j0, j1, colsG)
+			tensor.GemmPanelNN(cin, twa, ckk, wd, ckk, colsG, twa, dxn[j0:], frame, false, c.Workers)
+			tensor.GemmPanelNT(cin, ckk, twa, xn[j0:], frame, colsG, twa, dWd, ckk, true, c.Workers)
 		}
 	}
 	return dx

@@ -94,6 +94,161 @@ func TestConvGradCrossCheckAutodiff(t *testing.T) {
 	}
 }
 
+// withBackend runs f with the package-level convolution engine switch
+// forced to b, restoring the previous engine afterwards.
+func withBackend(b ConvBackend, f func()) {
+	prev := Backend
+	Backend = b
+	defer func() { Backend = prev }()
+	f()
+}
+
+// closeTensors fails unless got and want agree elementwise to the
+// scaled tolerance tol·(1+|want|).
+func closeTensors(t *testing.T, what string, got, want *tensor.Tensor, tol float64) {
+	t.Helper()
+	if !got.SameShape(want) {
+		t.Fatalf("%s: shape %v vs %v", what, got.Shape(), want.Shape())
+	}
+	gd, wd := got.Data(), want.Data()
+	for i := range gd {
+		if math.Abs(gd[i]-wd[i]) > tol*(1+math.Abs(wd[i])) {
+			t.Fatalf("%s: [%d] = %g, want %g (Δ %g)", what, i, gd[i], wd[i], gd[i]-wd[i])
+		}
+	}
+}
+
+// TestConvFastSlowCrosscheck is the correctness contract of the GEMM
+// engine: for every padding regime and worker count, the fast path
+// must match the naive reference loops to ~1e-12 on the forward output
+// and on every gradient (dx, dW, dB). The two engines accumulate in
+// different orders (and the fast path may use FMA), so agreement is to
+// float round-off, not bit-exact.
+func TestConvFastSlowCrosscheck(t *testing.T) {
+	cases := []struct {
+		name              string
+		cin, cout, k, pad int
+		h, w              int
+		workers           int
+	}{
+		{"valid_pad0", 2, 3, 3, 0, 7, 6, 1},
+		{"valid_pad0_workers", 3, 4, 5, 0, 9, 8, 4},
+		{"same_pad_k5", 4, 6, 5, 2, 12, 12, 1},
+		{"same_pad_k5_workers", 4, 6, 5, 2, 12, 12, 3},
+		{"pad1_k3", 2, 2, 3, 1, 6, 9, 1},
+		{"table1_layer2", 6, 16, 5, 2, 16, 16, 1},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			g := tensor.NewRNG(31)
+			fast := NewConv2D("fast", g, tc.cin, tc.cout, tc.k, tc.pad)
+			slow := NewConv2D("slow", tensor.NewRNG(32), tc.cin, tc.cout, tc.k, tc.pad)
+			if err := CopyParams(slow, fast); err != nil {
+				t.Fatal(err)
+			}
+			fast.Workers = tc.workers
+			slow.Workers = tc.workers
+			x := tensor.Normal(g, 0, 1, 2, tc.cin, tc.h, tc.w)
+
+			var yf, dxf *tensor.Tensor
+			withBackend(FastPath, func() {
+				yf = fast.Forward(x)
+				ZeroGrads(fast)
+				dxf = fast.Backward(yf.Clone())
+			})
+			var ys, dxs *tensor.Tensor
+			withBackend(SlowPath, func() {
+				ys = slow.Forward(x)
+				ZeroGrads(slow)
+				dxs = slow.Backward(ys.Clone())
+			})
+
+			closeTensors(t, "forward", yf, ys, 1e-12)
+			closeTensors(t, "dx", dxf, dxs, 1e-12)
+			closeTensors(t, "dW", fast.Weight().Grad, slow.Weight().Grad, 1e-11)
+			closeTensors(t, "dB", fast.Bias().Grad, slow.Bias().Grad, 1e-11)
+		})
+	}
+}
+
+// TestConvTransposeFastSlowCrosscheck is the same contract for the
+// transpose convolution.
+func TestConvTransposeFastSlowCrosscheck(t *testing.T) {
+	for _, workers := range []int{1, 3} {
+		g := tensor.NewRNG(41)
+		fast := NewConvTranspose2D("fast", g, 3, 2, 5)
+		slow := NewConvTranspose2D("slow", tensor.NewRNG(42), 3, 2, 5)
+		if err := CopyParams(slow, fast); err != nil {
+			t.Fatal(err)
+		}
+		fast.Workers = workers
+		x := tensor.Normal(g, 0, 1, 2, 3, 6, 7)
+
+		var yf, dxf *tensor.Tensor
+		withBackend(FastPath, func() {
+			yf = fast.Forward(x)
+			ZeroGrads(fast)
+			dxf = fast.Backward(yf.Clone())
+		})
+		var ys, dxs *tensor.Tensor
+		withBackend(SlowPath, func() {
+			ys = slow.Forward(x)
+			ZeroGrads(slow)
+			dxs = slow.Backward(ys.Clone())
+		})
+
+		closeTensors(t, "forward", yf, ys, 1e-12)
+		closeTensors(t, "dx", dxf, dxs, 1e-12)
+		for i := range fast.Params() {
+			closeTensors(t, fast.Params()[i].Name, fast.Params()[i].Grad, slow.Params()[i].Grad, 1e-11)
+		}
+	}
+}
+
+// TestConvFastSlowCrosscheckFullNetwork runs the whole Table-I stack
+// (convolutions + leaky ReLUs) under both engines and compares the
+// forward output and every parameter gradient.
+func TestConvFastSlowCrosscheckFullNetwork(t *testing.T) {
+	build := func(seed int64) *Sequential {
+		g := tensor.NewRNG(seed)
+		return NewSequential(
+			NewConv2D("c1", g, 4, 6, 5, 2),
+			NewLeakyReLU("a1", 0.01),
+			NewConv2D("c2", g, 6, 16, 5, 2),
+			NewLeakyReLU("a2", 0.01),
+			NewConv2D("c3", g, 16, 6, 5, 2),
+			NewLeakyReLU("a3", 0.01),
+			NewConv2D("c4", g, 6, 4, 5, 2),
+		)
+	}
+	fast, slow := build(7), build(8)
+	if err := CopyParams(slow, fast); err != nil {
+		t.Fatal(err)
+	}
+	fast.SetScratch(NewArena()) // shared-arena configuration, as in training
+	x := tensor.Normal(tensor.NewRNG(9), 0, 1, 1, 4, 16, 16)
+
+	var yf, dxf *tensor.Tensor
+	withBackend(FastPath, func() {
+		yf = fast.Forward(x)
+		ZeroGrads(fast)
+		dxf = fast.Backward(yf.Clone())
+	})
+	var ys, dxs *tensor.Tensor
+	withBackend(SlowPath, func() {
+		ys = slow.Forward(x)
+		ZeroGrads(slow)
+		dxs = slow.Backward(ys.Clone())
+	})
+
+	closeTensors(t, "forward", yf, ys, 1e-12)
+	closeTensors(t, "dx", dxf, dxs, 1e-11)
+	fp, sp := fast.Params(), slow.Params()
+	for i := range fp {
+		closeTensors(t, fp[i].Name, fp[i].Grad, sp[i].Grad, 1e-10)
+	}
+}
+
 // TestDenseGradCrossCheckAutodiff does the same oracle comparison for
 // the dense layer.
 func TestDenseGradCrossCheckAutodiff(t *testing.T) {

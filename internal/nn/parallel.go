@@ -1,37 +1,14 @@
 package nn
 
-import "sync"
+import "repro/internal/tensor"
 
 // parallelFor runs f(i) for i in [0, n) across the given number of
-// worker goroutines. With workers <= 1 it degrades to a plain loop —
-// the default everywhere, because the repository's critical-path
-// timing model wants single-threaded ranks (DESIGN.md §5). Layers
-// expose a Workers knob for users who run one big rank per multi-core
-// node instead.
+// worker goroutines, delegating to the engine-level helper in
+// internal/tensor so the two packages share one implementation. With
+// workers <= 1 it degrades to a plain loop — the default everywhere,
+// because the repository's critical-path timing model wants
+// single-threaded ranks (DESIGN.md §5). Layers expose a Workers knob
+// for users who run one big rank per multi-core node instead.
 func parallelFor(n, workers int, f func(i int)) {
-	if workers <= 1 || n <= 1 {
-		for i := 0; i < n; i++ {
-			f(i)
-		}
-		return
-	}
-	if workers > n {
-		workers = n
-	}
-	var wg sync.WaitGroup
-	next := make(chan int)
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for i := range next {
-				f(i)
-			}
-		}()
-	}
-	for i := 0; i < n; i++ {
-		next <- i
-	}
-	close(next)
-	wg.Wait()
+	tensor.ParallelFor(n, workers, f)
 }

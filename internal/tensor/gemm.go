@@ -1,0 +1,290 @@
+package tensor
+
+import (
+	"fmt"
+	"sync"
+)
+
+// This file is the dense-linear-algebra engine behind the GEMM-backed
+// convolution path (see internal/nn/conv.go and DESIGN.md §3). Three
+// strided panel kernels cover every product the convolution forward
+// and backward passes need:
+//
+//	GemmPanelNN — C (+)= A·B      (conv forward, transpose-conv dx)
+//	GemmPanelTN — C (+)= Aᵀ·B     (conv dcols, transpose-conv forward)
+//	GemmPanelNT — C (+)= A·Bᵀ     (conv dW, transpose-conv dW)
+//
+// All three take explicit row strides (lda/ldb/ldc), which is what
+// lets the convolution layers run them over cache-sized column tiles
+// of a larger frame without repacking. The reduction loop of the
+// NN/TN kernels is register-tiled four wide and dispatches to an
+// AVX2+FMA micro-kernel on amd64 (gemm_amd64.s) with a pure-Go
+// fallback everywhere else; NT is a two-row dot-product tile. None of
+// the kernels allocate: callers own every buffer, which is what lets
+// the convolution layers reuse scratch arenas across steps.
+//
+// Determinism contract: for a fixed kernel the per-element accumulation
+// order depends only on the operand dimensions, never on the worker
+// count — tasks partition C disjointly and each element is produced by
+// exactly one worker in the same order as the serial sweep. Results
+// are therefore bit-identical for any workers value, the same contract
+// the naive convolution path makes.
+
+// gemmColBlock is the column-block width (in float64 elements) of the
+// NN/TN kernels: 2048 columns = 16 KiB per C-row panel, small enough
+// that the panel survives in L1 across the full reduction sweep.
+const gemmColBlock = 2048
+
+// ParallelFor runs f(i) for i in [0, n) across min(workers, n)
+// goroutines; workers <= 1 degrades to a plain serial loop. The GEMM
+// kernels use it to fan the independent (row × column-block) tasks of
+// C out to workers, and the nn package's layer-level parallelism
+// delegates to it.
+func ParallelFor(n, workers int, f func(i int)) {
+	if workers <= 1 || n <= 1 {
+		for i := 0; i < n; i++ {
+			f(i)
+		}
+		return
+	}
+	if workers > n {
+		workers = n
+	}
+	var wg sync.WaitGroup
+	next := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				f(i)
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+}
+
+// colBlocks returns the number of gemmColBlock-wide column blocks
+// covering n columns.
+func colBlocks(n int) int { return (n + gemmColBlock - 1) / gemmColBlock }
+
+// axpy4Go is the portable reduction micro-kernel:
+// c[j] += a0·b0[j] + a1·b1[j] + a2·b2[j] + a3·b3[j].
+// On amd64 the axpy4 dispatcher routes the bulk of the work to the
+// AVX2+FMA version and keeps this loop for the tail.
+func axpy4Go(c, b0, b1, b2, b3 []float64, a0, a1, a2, a3 float64) {
+	for j := range c {
+		c[j] += a0*b0[j] + a1*b1[j] + a2*b2[j] + a3*b3[j]
+	}
+}
+
+// axpy1Go is the remainder kernel for reduction lengths not divisible
+// by four: c[j] += a·b[j].
+func axpy1Go(c, b []float64, a float64) {
+	for j := range c {
+		c[j] += a * b[j]
+	}
+}
+
+// gemmPanelRow accumulates one row of C over the reduction dimension:
+// ci[j] (+)= Σ_p a[p·astride]·b[p·ldb+j]. astride is 1 when the A
+// operand is a contiguous row (NN) and the A row stride when it is a
+// strided column (TN). ci and the b rows must hold len(ci) elements.
+func gemmPanelRow(ci []float64, a []float64, astride int, b []float64, ldb, k int, acc bool) {
+	if !acc {
+		for j := range ci {
+			ci[j] = 0
+		}
+	}
+	p := 0
+	for ; p+4 <= k; p += 4 {
+		a0 := a[p*astride]
+		a1 := a[(p+1)*astride]
+		a2 := a[(p+2)*astride]
+		a3 := a[(p+3)*astride]
+		if a0 == 0 && a1 == 0 && a2 == 0 && a3 == 0 {
+			continue
+		}
+		w := len(ci)
+		axpy4(ci,
+			b[p*ldb:p*ldb+w],
+			b[(p+1)*ldb:(p+1)*ldb+w],
+			b[(p+2)*ldb:(p+2)*ldb+w],
+			b[(p+3)*ldb:(p+3)*ldb+w],
+			a0, a1, a2, a3)
+	}
+	for ; p < k; p++ {
+		av := a[p*astride]
+		if av == 0 {
+			continue
+		}
+		axpy1Go(ci, b[p*ldb:p*ldb+len(ci)], av)
+	}
+}
+
+// GemmPanelNN computes C = A·B (or C += A·B when acc is true) over
+// row-major panels: C[i·ldc+j] for i<m, j<n accumulates
+// Σ_p A[i·lda+p]·B[p·ldb+j]. workers > 1 fans the (row × column-block)
+// tasks of C out to that many goroutines; results are bit-identical
+// for any worker count.
+func GemmPanelNN(m, n, k int, a []float64, lda int, b []float64, ldb int, c []float64, ldc int, acc bool, workers int) {
+	checkPanel("GemmPanelNN", m, n, k, len(a), lda, m, k, len(b), ldb, k, n, len(c), ldc)
+	nb := colBlocks(n)
+	ParallelFor(m*nb, workers, func(task int) {
+		i, jb := task/nb, task%nb
+		j0 := jb * gemmColBlock
+		j1 := min(j0+gemmColBlock, n)
+		gemmPanelRow(c[i*ldc+j0:i*ldc+j1], a[i*lda:], 1, b[j0:], ldb, k, acc)
+	})
+}
+
+// GemmPanelTN computes C = Aᵀ·B (or C += Aᵀ·B when acc is true) over
+// row-major panels: C[i·ldc+j] for i<m, j<n accumulates
+// Σ_p A[p·lda+i]·B[p·ldb+j]. A is read column-wise; in every
+// convolution use it is the small kernel matrix, so the strided loads
+// stay cache-resident. Bit-identical for any worker count.
+func GemmPanelTN(m, n, k int, a []float64, lda int, b []float64, ldb int, c []float64, ldc int, acc bool, workers int) {
+	checkPanel("GemmPanelTN", m, n, k, len(a), lda, k, m, len(b), ldb, k, n, len(c), ldc)
+	nb := colBlocks(n)
+	ParallelFor(m*nb, workers, func(task int) {
+		i, jb := task/nb, task%nb
+		j0 := jb * gemmColBlock
+		j1 := min(j0+gemmColBlock, n)
+		gemmPanelRow(c[i*ldc+j0:i*ldc+j1], a[i:], lda, b[j0:], ldb, k, acc)
+	})
+}
+
+// GemmPanelNT computes C = A·Bᵀ (or C += A·Bᵀ when acc is true) over
+// row-major panels: C[i·ldc+j] for i<m, j<n accumulates
+// Σ_p A[i·lda+p]·B[j·ldb+p]. Every C element is a dot product of two
+// contiguous k-length rows; the kernel processes two A rows per B-row
+// stream (halving B traffic) with a 4-way unrolled dot. workers > 1
+// fans the row pairs of C out to goroutines; bit-identical for any
+// worker count.
+func GemmPanelNT(m, n, k int, a []float64, lda int, b []float64, ldb int, c []float64, ldc int, acc bool, workers int) {
+	checkPanel("GemmPanelNT", m, n, k, len(a), lda, m, k, len(b), ldb, n, k, len(c), ldc)
+	pairs := (m + 1) / 2
+	ParallelFor(pairs, workers, func(ip int) {
+		i := 2 * ip
+		a0 := a[i*lda : i*lda+k]
+		c0 := c[i*ldc : i*ldc+n]
+		if i+1 < m {
+			a1 := a[(i+1)*lda : (i+1)*lda+k]
+			c1 := c[(i+1)*ldc : (i+1)*ldc+n]
+			for j := 0; j < n; j++ {
+				bj := b[j*ldb : j*ldb+k]
+				d0, d1 := gemmDot2(a0, a1, bj)
+				if acc {
+					c0[j] += d0
+					c1[j] += d1
+				} else {
+					c0[j] = d0
+					c1[j] = d1
+				}
+			}
+			return
+		}
+		for j := 0; j < n; j++ {
+			bj := b[j*ldb : j*ldb+k]
+			d, _ := gemmDot2(a0, a0, bj)
+			if acc {
+				c0[j] += d
+			} else {
+				c0[j] = d
+			}
+		}
+	})
+}
+
+// gemmDot2Go is the portable dot micro-kernel: it returns (a0·b, a1·b)
+// with a shared 4-way unrolled sweep of b. The partial accumulators
+// are combined in a fixed order so results do not depend on how
+// callers partition the surrounding loops. On amd64 the gemmDot2
+// dispatcher routes the bulk of the work to the AVX2+FMA version and
+// keeps this loop for the tail.
+func gemmDot2Go(a0, a1, b []float64) (float64, float64) {
+	var s00, s01, s02, s03 float64
+	var s10, s11, s12, s13 float64
+	p := 0
+	for ; p+4 <= len(b); p += 4 {
+		b0, b1, b2, b3 := b[p], b[p+1], b[p+2], b[p+3]
+		s00 += a0[p] * b0
+		s01 += a0[p+1] * b1
+		s02 += a0[p+2] * b2
+		s03 += a0[p+3] * b3
+		s10 += a1[p] * b0
+		s11 += a1[p+1] * b1
+		s12 += a1[p+2] * b2
+		s13 += a1[p+3] * b3
+	}
+	d0 := (s00 + s01) + (s02 + s03)
+	d1 := (s10 + s11) + (s12 + s13)
+	for ; p < len(b); p++ {
+		d0 += a0[p] * b[p]
+		d1 += a1[p] * b[p]
+	}
+	return d0, d1
+}
+
+// GemmNN computes C = A·B (or C += A·B when acc is true) for dense
+// row-major flat matrices A [m×k], B [k×n], C [m×n].
+func GemmNN(m, n, k int, a, b, c []float64, acc bool, workers int) {
+	GemmPanelNN(m, n, k, a, k, b, n, c, n, acc, workers)
+}
+
+// GemmTN computes C = Aᵀ·B (or C += Aᵀ·B when acc is true) for dense
+// row-major flat matrices A [k×m], B [k×n], C [m×n].
+func GemmTN(m, n, k int, a, b, c []float64, acc bool, workers int) {
+	GemmPanelTN(m, n, k, a, m, b, n, c, n, acc, workers)
+}
+
+// GemmNT computes C = A·Bᵀ (or C += A·Bᵀ when acc is true) for dense
+// row-major flat matrices A [m×k], B [n×k], C [m×n].
+func GemmNT(m, n, k int, a, b, c []float64, acc bool, workers int) {
+	GemmPanelNT(m, n, k, a, k, b, k, c, n, acc, workers)
+}
+
+// checkPanel panics when a panel operand cannot hold its stated extent
+// (catching mis-wired strides at the call site instead of as silent
+// out-of-range reads). Operand X spanning rx rows of cx used columns
+// with row stride ldx needs (rx-1)·ldx + cx elements.
+func checkPanel(op string, m, n, k, alen, lda, ar, ac, blen, ldb, br, bc, clen, ldc int) {
+	if m < 0 || n < 0 || k < 0 {
+		panic(fmt.Sprintf("tensor: %s negative dimensions m=%d n=%d k=%d", op, m, n, k))
+	}
+	if m == 0 || n == 0 {
+		return
+	}
+	if need := (ar-1)*lda + ac; ar > 0 && (lda < ac || alen < need) {
+		panic(fmt.Sprintf("tensor: %s A panel %d rows × %d cols stride %d needs %d elements, have %d", op, ar, ac, lda, need, alen))
+	}
+	if need := (br-1)*ldb + bc; br > 0 && (ldb < bc || blen < need) {
+		panic(fmt.Sprintf("tensor: %s B panel %d rows × %d cols stride %d needs %d elements, have %d", op, br, bc, ldb, need, blen))
+	}
+	if need := (m-1)*ldc + n; ldc < n || clen < need {
+		panic(fmt.Sprintf("tensor: %s C panel %d rows × %d cols stride %d needs %d elements, have %d", op, m, n, ldc, need, clen))
+	}
+}
+
+// MatMulInto computes dst = a·b for rank-2 tensors, reusing dst's
+// backing storage (dst must be [a.rows × b.cols]). It returns dst.
+// workers > 1 enables the kernels' task parallelism.
+func MatMulInto(dst, a, b *Tensor, workers int) *Tensor {
+	if a.Rank() != 2 || b.Rank() != 2 || dst.Rank() != 2 {
+		panic(fmt.Sprintf("tensor: MatMulInto needs rank-2 tensors, got %v, %v → %v", a.shape, b.shape, dst.shape))
+	}
+	m, k := a.shape[0], a.shape[1]
+	k2, n := b.shape[0], b.shape[1]
+	if k != k2 {
+		panic(fmt.Sprintf("tensor: MatMulInto inner dimension mismatch %v x %v", a.shape, b.shape))
+	}
+	if dst.shape[0] != m || dst.shape[1] != n {
+		panic(fmt.Sprintf("tensor: MatMulInto dst shape %v, want [%d %d]", dst.shape, m, n))
+	}
+	GemmNN(m, n, k, a.data, b.data, dst.data, false, workers)
+	return dst
+}

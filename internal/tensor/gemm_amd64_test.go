@@ -1,0 +1,46 @@
+//go:build amd64
+
+package tensor
+
+import (
+	"math"
+	"testing"
+)
+
+// TestGemmAsmMatchesPortable runs the full kernel surface with the
+// SIMD dispatch enabled and with it forced off, and checks the results
+// agree to float round-off (FMA rounds once where the portable loop
+// rounds twice, so exact equality is not expected). Skipped on CPUs
+// where no assembly path is live.
+func TestGemmAsmMatchesPortable(t *testing.T) {
+	if !useAVX2FMA {
+		t.Skip("no SIMD kernel on this CPU")
+	}
+	save2, save512 := useAVX2FMA, useAVX512
+	defer func() { useAVX2FMA, useAVX512 = save2, save512 }()
+
+	g := NewRNG(99)
+	dims := []struct{ m, n, k int }{
+		{3, 5, 4},    // below every SIMD width: pure remainder
+		{4, 23, 9},   // AVX2 span + scalar tail
+		{6, 150, 37}, // AVX-512 span + tails
+		{5, 2050, 8}, // across a column block boundary
+	}
+	for _, d := range dims {
+		a := randSlice(g, d.m*d.k)
+		b := randSlice(g, d.k*d.n)
+		asm := make([]float64, d.m*d.n)
+		GemmNN(d.m, d.n, d.k, a, b, asm, false, 1)
+
+		useAVX2FMA, useAVX512 = false, false
+		portable := make([]float64, d.m*d.n)
+		GemmNN(d.m, d.n, d.k, a, b, portable, false, 1)
+		useAVX2FMA, useAVX512 = save2, save512
+
+		for i := range asm {
+			if math.Abs(asm[i]-portable[i]) > 1e-13*(1+math.Abs(portable[i])) {
+				t.Fatalf("dims %+v: asm[%d] = %g, portable %g", d, i, asm[i], portable[i])
+			}
+		}
+	}
+}

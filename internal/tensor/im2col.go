@@ -1,0 +1,151 @@
+package tensor
+
+import "fmt"
+
+// im2col/col2im lower a stride-1, zero-padded K×K convolution to a
+// matrix product (DESIGN.md §3): each column of the lowered matrix
+// holds the K×K×C input patch under one output position, so
+//
+//	Y [Cout × OH·OW] = W [Cout × C·K·K] · cols [C·K·K × OH·OW]
+//
+// is exactly the convolution forward pass, and the backward pass
+// becomes two more GEMMs plus the adjoint scatter Col2Im. Padding is
+// folded into the lowering itself — out-of-range taps read as zeros in
+// Im2Col and are dropped by Col2Im — so the engine never materializes
+// a padded copy of the input.
+//
+// The windowed variants lower only output columns [j0, j1), producing
+// a [C·K·K × (j1−j0)] panel. The convolution layers sweep these
+// cache-sized tiles instead of materializing the full (K² times the
+// input) matrix, which keeps the working set L2-resident — the full
+// lowering exists only as the j0=0, j1=OH·OW special case.
+//
+// Both routines work on one CHW image at a time (batch loops live in
+// the callers, which reuse one panel buffer across the batch) and
+// write into caller-owned buffers so hot loops can run
+// allocation-free.
+
+// Im2ColRows returns the row count C·K·K of the lowered matrix.
+func Im2ColRows(c, k int) int { return c * k * k }
+
+// ConvOutSize returns the output edge of a stride-1 K-kernel
+// convolution with the given padding: n + 2·pad − k + 1.
+func ConvOutSize(n, k, pad int) int { return n + 2*pad - k + 1 }
+
+// Im2Col lowers the full CHW image x (flat, c·h·w values) into cols,
+// a [C·K·K × OH·OW] row-major matrix with OH = ConvOutSize(h, k, pad)
+// and OW = ConvOutSize(w, k, pad).
+func Im2Col(x []float64, c, h, w, k, pad int, cols []float64) {
+	oh, ow := ConvOutSize(h, k, pad), ConvOutSize(w, k, pad)
+	Im2ColWindow(x, c, h, w, k, pad, 0, oh*ow, cols)
+}
+
+// Col2Im is the adjoint of Im2Col over the full output frame.
+func Col2Im(cols []float64, c, h, w, k, pad int, x []float64) {
+	oh, ow := ConvOutSize(h, k, pad), ConvOutSize(w, k, pad)
+	Col2ImWindow(cols, c, h, w, k, pad, 0, oh*ow, x)
+}
+
+// Im2ColWindow lowers output columns [j0, j1) — flat row-major output
+// positions oy·OW+ox — of the CHW image x into cols, a
+// [C·K·K × (j1−j0)] row-major panel. Row (ci·K+ky)·K+kx holds, for
+// every output position in the window, the input value at channel ci,
+// row oy+ky−pad, column ox+kx−pad — zero where that falls outside the
+// image. Every element of the panel is written.
+func Im2ColWindow(x []float64, c, h, w, k, pad, j0, j1 int, cols []float64) {
+	oh, ow := ConvOutSize(h, k, pad), ConvOutSize(w, k, pad)
+	tw := j1 - j0
+	checkIm2Col("Im2ColWindow", x, c, h, w, k, pad, oh, ow, j0, j1, cols)
+	for ci := 0; ci < c; ci++ {
+		chBase := ci * h * w
+		for ky := 0; ky < k; ky++ {
+			for kx := 0; kx < k; kx++ {
+				row := cols[((ci*k+ky)*k+kx)*tw:][:tw]
+				// Output columns whose input column ox+kx−pad is in
+				// range; everything outside is padding.
+				x0 := max(0, pad-kx)
+				x1 := min(ow, w+pad-kx)
+				for oy := j0 / ow; oy*ow < j1; oy++ {
+					// Window slice of output row oy, in local panel
+					// coordinates.
+					lo := max(j0, oy*ow) - oy*ow
+					hi := min(j1, (oy+1)*ow) - oy*ow
+					dst := row[oy*ow+lo-j0 : oy*ow+hi-j0]
+					iy := oy + ky - pad
+					cl := max(lo, x0)
+					cr := min(hi, x1)
+					if iy < 0 || iy >= h || cl >= cr {
+						for i := range dst {
+							dst[i] = 0
+						}
+						continue
+					}
+					for i := 0; i < cl-lo; i++ {
+						dst[i] = 0
+					}
+					copy(dst[cl-lo:cr-lo], x[chBase+iy*w+cl+kx-pad:][:cr-cl])
+					for i := cr - lo; i < hi-lo; i++ {
+						dst[i] = 0
+					}
+				}
+			}
+		}
+	}
+}
+
+// Col2ImWindow is the adjoint of Im2ColWindow: it accumulates the
+// [C·K·K × (j1−j0)] panel cols back into the CHW image x, adding each
+// patch entry onto the input cell it was read from and dropping
+// entries that came from padding. x is accumulated into, not
+// overwritten — callers zero it first when they want a plain scatter.
+func Col2ImWindow(cols []float64, c, h, w, k, pad, j0, j1 int, x []float64) {
+	oh, ow := ConvOutSize(h, k, pad), ConvOutSize(w, k, pad)
+	tw := j1 - j0
+	checkIm2Col("Col2ImWindow", x, c, h, w, k, pad, oh, ow, j0, j1, cols)
+	for ci := 0; ci < c; ci++ {
+		chBase := ci * h * w
+		for ky := 0; ky < k; ky++ {
+			for kx := 0; kx < k; kx++ {
+				row := cols[((ci*k+ky)*k+kx)*tw:][:tw]
+				x0 := max(0, pad-kx)
+				x1 := min(ow, w+pad-kx)
+				for oy := j0 / ow; oy*ow < j1; oy++ {
+					iy := oy + ky - pad
+					if iy < 0 || iy >= h {
+						continue
+					}
+					lo := max(j0, oy*ow) - oy*ow
+					hi := min(j1, (oy+1)*ow) - oy*ow
+					cl := max(lo, x0)
+					cr := min(hi, x1)
+					if cl >= cr {
+						continue
+					}
+					src := row[oy*ow+cl-j0 : oy*ow+cr-j0]
+					dst := x[chBase+iy*w+cl+kx-pad:][:cr-cl]
+					for i, v := range src {
+						dst[i] += v
+					}
+				}
+			}
+		}
+	}
+}
+
+func checkIm2Col(op string, x []float64, c, h, w, k, pad, oh, ow, j0, j1 int, cols []float64) {
+	if c <= 0 || h <= 0 || w <= 0 || k <= 0 || pad < 0 {
+		panic(fmt.Sprintf("tensor: %s invalid config c=%d h=%d w=%d k=%d pad=%d", op, c, h, w, k, pad))
+	}
+	if oh <= 0 || ow <= 0 {
+		panic(fmt.Sprintf("tensor: %s image %dx%d (pad %d) smaller than kernel %d", op, h, w, pad, k))
+	}
+	if j0 < 0 || j1 > oh*ow || j0 >= j1 {
+		panic(fmt.Sprintf("tensor: %s window [%d:%d) out of range for %d output positions", op, j0, j1, oh*ow))
+	}
+	if len(x) < c*h*w {
+		panic(fmt.Sprintf("tensor: %s image buffer %d too short for %dx%dx%d", op, len(x), c, h, w))
+	}
+	if len(cols) < c*k*k*(j1-j0) {
+		panic(fmt.Sprintf("tensor: %s cols buffer %d too short for [%d x %d]", op, len(cols), c*k*k, j1-j0))
+	}
+}

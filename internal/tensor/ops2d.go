@@ -174,7 +174,8 @@ func Unstack(t *Tensor) []*Tensor {
 	return out
 }
 
-// MatMul computes the matrix product of two rank-2 tensors.
+// MatMul computes the matrix product of two rank-2 tensors through the
+// blocked GEMM kernel in gemm.go.
 func MatMul(a, b *Tensor) *Tensor {
 	if a.Rank() != 2 || b.Rank() != 2 {
 		panic(fmt.Sprintf("tensor: MatMul needs rank-2 tensors, got %v and %v", a.shape, b.shape))
@@ -184,20 +185,5 @@ func MatMul(a, b *Tensor) *Tensor {
 	if k != k2 {
 		panic(fmt.Sprintf("tensor: MatMul inner dimension mismatch %v x %v", a.shape, b.shape))
 	}
-	out := New(m, n)
-	for i := 0; i < m; i++ {
-		arow := a.data[i*k : (i+1)*k]
-		orow := out.data[i*n : (i+1)*n]
-		for p := 0; p < k; p++ {
-			av := arow[p]
-			if av == 0 {
-				continue
-			}
-			brow := b.data[p*n : (p+1)*n]
-			for j, bv := range brow {
-				orow[j] += av * bv
-			}
-		}
-	}
-	return out
+	return MatMulInto(New(m, n), a, b, 1)
 }

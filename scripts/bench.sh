@@ -1,0 +1,55 @@
+#!/usr/bin/env bash
+# Regenerates BENCH_baseline.json: the committed perf-trajectory
+# snapshot of the convolution engine (GEMM fast path vs naive
+# reference) plus the per-layer Table-I costs. Run from anywhere:
+#
+#   scripts/bench.sh                # writes BENCH_baseline.json
+#   scripts/bench.sh out.json      # writes elsewhere
+#
+# BENCHTIME (default 10x) and BENCH (default the conv benchmarks)
+# override the sweep.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+OUT="${1:-BENCH_baseline.json}"
+BENCH="${BENCH:-ConvGEMMvsNaive|ConvGEMMWorkers|Table1_LayerForwardBackward}"
+BENCHTIME="${BENCHTIME:-10x}"
+
+RAW="$(mktemp)"
+trap 'rm -f "$RAW"' EXIT
+
+go test -run '^$' -bench "$BENCH" -benchtime "$BENCHTIME" -benchmem -timeout 30m . | tee "$RAW"
+
+CPU="$(awk -F': ' '/^cpu:/{print $2; exit}' "$RAW")"
+[ -n "$CPU" ] || CPU="unknown"
+
+{
+	echo "{"
+	echo "  \"generated\": \"$(date -u +%Y-%m-%dT%H:%M:%SZ)\","
+	echo "  \"go\": \"$(go version | awk '{print $3}')\","
+	echo "  \"cpu\": \"$CPU\","
+	echo "  \"command\": \"go test -run ^\$ -bench '$BENCH' -benchtime $BENCHTIME -benchmem .\","
+	echo "  \"benchmarks\": ["
+	awk '
+		/^Benchmark/ {
+			name = $1
+			sub(/-[0-9]+$/, "", name)  # strip the GOMAXPROCS suffix
+			printf "%s    {\"name\": \"%s\", \"iterations\": %s, \"metrics\": {", sep, name, $2
+			sep = ",\n"
+			msep = ""
+			for (i = 3; i + 1 <= NF; i += 2) {
+				unit = $(i + 1)
+				gsub(/\//, "_per_", unit)
+				gsub(/[^A-Za-z0-9_]/, "_", unit)
+				printf "%s\"%s\": %s", msep, unit, $i
+				msep = ", "
+			}
+			printf "}}"
+		}
+		END { print "" }
+	' "$RAW"
+	echo "  ]"
+	echo "}"
+} >"$OUT"
+
+echo "wrote $OUT"
