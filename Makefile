@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test vet fmt race bench bench-smoke ci
+.PHONY: build test vet fmt race bench bench-smoke smoke ci
 
 build:
 	$(GO) build ./...
@@ -33,4 +33,18 @@ bench:
 bench-smoke:
 	$(GO) test -run '^$$' -bench . -benchtime 1x -timeout 30m .
 
-ci: build fmt vet test race bench-smoke
+# End-to-end smoke of the user-facing entrypoints: the quickstart
+# example (train + serve in-process) and the datagen → train → infer
+# CLI pipeline with a 3-step streaming inference session. Small inputs
+# keep this to a couple of minutes; it proves the binaries, checkpoint
+# format, and Engine/Session serving path work together, which unit
+# tests cannot.
+smoke:
+	$(GO) run ./examples/quickstart
+	rm -rf smoke-out && mkdir -p smoke-out
+	$(GO) run ./cmd/datagen -n 24 -snapshots 30 -out smoke-out/data.gob
+	$(GO) run ./cmd/train -data smoke-out/data.gob -ranks 4 -epochs 2 -out smoke-out/ckpt
+	$(GO) run ./cmd/infer -data smoke-out/data.gob -ckpt smoke-out/ckpt -steps 3
+	rm -rf smoke-out
+
+ci: build fmt vet test race bench-smoke smoke

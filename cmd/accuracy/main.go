@@ -11,6 +11,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
@@ -65,10 +66,15 @@ func main() {
 	cfg.BatchSize = 4
 	cfg.Schedule = opt.Cosine{Base: *lr, Floor: *lr / 30, Total: *epochs}
 	fmt.Printf("training %d nets (%dx%d) for %d epochs with %s loss...\n", *ranks, px, py, *epochs, *lossN)
-	res, err := core.TrainParallel(train, px, py, cfg, core.CriticalPath)
+	trainer, err := core.NewTrainer(cfg, core.WithTopology(px, py))
 	if err != nil {
 		log.Fatal(err)
 	}
+	rep, err := trainer.Train(context.Background(), train)
+	if err != nil {
+		log.Fatal(err)
+	}
+	res := rep.Parallel
 	fmt.Printf("training done: critical path %.2fs, final losses ", res.CriticalPathSeconds)
 	for _, rr := range res.Ranks {
 		fmt.Printf("%.3g ", rr.FinalLoss())
@@ -78,8 +84,12 @@ func main() {
 	// One-step prediction over the validation pairs (Fig. 3 protocol:
 	// "input and output data are chosen randomly from the validation
 	// data set" — we evaluate all pairs and report the mean, plus maps
-	// of one representative pair).
-	e := res.Ensemble()
+	// of one representative pair). Served through the Engine so the
+	// shared ensemble is never mutated.
+	eng, err := core.NewEngine(rep.Ensemble())
+	if err != nil {
+		log.Fatal(err)
+	}
 	valPairs := val.Pairs()
 	if len(valPairs) == 0 {
 		log.Fatal("no validation pairs; increase -snapshots")
@@ -87,7 +97,7 @@ func main() {
 	agg := make([]*tensor.Tensor, 0, len(valPairs))
 	tgt := make([]*tensor.Tensor, 0, len(valPairs))
 	for _, pr := range valPairs {
-		pred, err := e.PredictOneStep(pr.Input)
+		pred, err := eng.Predict(context.Background(), pr.Input)
 		if err != nil {
 			log.Fatal(err)
 		}

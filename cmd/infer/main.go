@@ -1,7 +1,10 @@
 // Command infer loads the per-rank checkpoints written by cmd/train
-// and runs the §III parallel inference: a multi-step autoregressive
-// rollout with point-to-point halo exchange, validated against the
-// solver's own trajectory.
+// and serves the §III parallel inference through the Engine/Session
+// API: a streaming autoregressive rollout with point-to-point halo
+// exchange, validated step by step against the solver's own
+// trajectory. Frames are scored and discarded as they are produced
+// (O(1) memory in the rollout depth), and Ctrl-C cancels the session
+// within one step.
 //
 // Usage:
 //
@@ -9,9 +12,12 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
+	"os"
+	"os/signal"
 
 	"repro/internal/core"
 	"repro/internal/dataset"
@@ -19,6 +25,7 @@ import (
 	"repro/internal/mpi"
 	"repro/internal/nn"
 	"repro/internal/stats"
+	"repro/internal/tensor"
 )
 
 func main() {
@@ -37,6 +44,10 @@ func main() {
 	)
 	flag.Parse()
 
+	// Ctrl-C cancels the session within one step.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
 	ds, err := dataset.Load(*dataPath)
 	if err != nil {
 		log.Fatal(err)
@@ -47,11 +58,12 @@ func main() {
 	}
 	nds := dataset.NormalizeDataset(ds, norm)
 
+	var convBackend nn.ConvBackend
 	switch *backend {
 	case "gemm":
-		nn.Backend = nn.FastPath
+		convBackend = nn.FastPath
 	case "naive":
-		nn.Backend = nn.SlowPath
+		convBackend = nn.SlowPath
 	default:
 		log.Fatalf("unknown convolution engine %q", *backend)
 	}
@@ -60,7 +72,6 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	e.SetWorkers(*workers)
 	fmt.Printf("ensemble: %dx%d ranks on %dx%d grid, strategy %v\n",
 		e.Partition.Px, e.Partition.Py, e.Partition.Nx, e.Partition.Ny, e.ModelCfg.Strategy)
 
@@ -90,24 +101,44 @@ func main() {
 	if start-window+1 < 0 {
 		log.Fatalf("start snapshot %d too early for temporal window %d", start, window)
 	}
-	roll, err := e.RolloutSeq(nds.Snapshots[start-window+1:start+1], *steps, nm)
+
+	// The serving path: an immutable engine over the ensemble, one
+	// streaming session for this rollout. The per-session knobs never
+	// touch the shared models, so any number of infer processes'
+	// worth of sessions could share one engine.
+	eng, err := core.NewEngine(e,
+		core.WithWorkers(*workers),
+		core.WithNetModel(nm),
+		core.WithConvBackend(convBackend))
 	if err != nil {
 		log.Fatal(err)
 	}
+	ses, err := eng.NewSession(ctx, nds.Snapshots[start-window+1:start+1]...)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer ses.Close()
 
 	tbl := stats.NewTable(
 		fmt.Sprintf("rollout from snapshot %d (validation region)", start),
-		"step", "mape[%]", "mse", "linf", "r2")
-	for k, pred := range roll.Steps {
-		m := stats.Compute(pred, nds.Snapshots[start+k+1])
+		"step", "mape[%]", "mse", "linf", "r2", "halo-msgs")
+	var final *tensor.Tensor
+	err = ses.Run(ctx, *steps, func(k int, frame *tensor.Tensor) error {
+		m := stats.Compute(frame, nds.Snapshots[start+k+1])
+		_, halo := ses.LastStepStats()
 		tbl.Add(fmt.Sprint(k+1),
 			fmt.Sprintf("%.3f", m.MAPE), fmt.Sprintf("%.3e", m.MSE),
-			fmt.Sprintf("%.3e", m.Linf), fmt.Sprintf("%.4f", m.R2))
+			fmt.Sprintf("%.3e", m.Linf), fmt.Sprintf("%.4f", m.R2),
+			fmt.Sprint(halo.MessagesSent))
+		final = frame // only the last frame is retained
+		return nil
+	})
+	if err != nil {
+		log.Fatal(err)
 	}
 	fmt.Print(tbl.String())
 
 	// Per-channel view of the final step (the Fig. 3 comparison).
-	final := roll.Steps[len(roll.Steps)-1]
 	per := stats.PerChannel(final, nds.Snapshots[start+*steps])
 	ctbl := stats.NewTable("final step per channel", "channel", "mape[%]", "mse", "r2")
 	for c, m := range per {
@@ -116,11 +147,12 @@ func main() {
 	}
 	fmt.Print(ctbl.String())
 
+	comm, halo := ses.CommStats(), ses.HaloCommStats()
 	fmt.Printf("communication: %d msgs / %.2f KB total, halo share: %d msgs / %.2f KB",
-		roll.CommStats.MessagesSent, float64(roll.CommStats.BytesSent)/1e3,
-		roll.HaloCommStats.MessagesSent, float64(roll.HaloCommStats.BytesSent)/1e3)
+		comm.MessagesSent, float64(comm.BytesSent)/1e3,
+		halo.MessagesSent, float64(halo.BytesSent)/1e3)
 	if nm != nil {
-		fmt.Printf(", virtual comm time %.4fs", roll.CommStats.VirtualCommSeconds)
+		fmt.Printf(", virtual comm time %.4fs", comm.VirtualCommSeconds)
 	}
 	fmt.Println()
 }

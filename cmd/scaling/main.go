@@ -12,6 +12,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
@@ -66,10 +67,15 @@ func main() {
 	var table stats.ScalingTable
 	for _, p := range ranks {
 		px, py := mpi.BalancedDims(p)
-		res, err := core.TrainParallel(nds, px, py, cfg, core.CriticalPath)
+		trainer, err := core.NewTrainer(cfg, core.WithTopology(px, py))
 		if err != nil {
 			log.Fatalf("P=%d: %v", p, err)
 		}
+		rep, err := trainer.Train(context.Background(), nds)
+		if err != nil {
+			log.Fatalf("P=%d: %v", p, err)
+		}
+		res := rep.Parallel
 		table.Add(p, res.CriticalPathSeconds)
 		fmt.Printf("P=%-3d (%dx%d): critical path %.3fs, total %.3fs, train comm msgs %d\n",
 			p, px, py, res.CriticalPathSeconds, res.TotalComputeSeconds, res.TrainCommStats.MessagesSent)

@@ -1,6 +1,8 @@
 // Command train runs the paper's §III parallel training scheme (or
 // one of the baselines) on a dataset produced by cmd/datagen, and
-// writes one checkpoint per rank.
+// writes one checkpoint per rank. Training runs under a
+// signal-cancellable context: Ctrl-C aborts within one epoch instead
+// of leaving a half-written checkpoint directory.
 //
 // Usage:
 //
@@ -10,10 +12,12 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
 	"os"
+	"os/signal"
 	"path/filepath"
 
 	"repro/internal/core"
@@ -46,8 +50,13 @@ func main() {
 		concurrent = flag.Bool("concurrent", false, "execute ranks concurrently (goroutines) instead of critical-path timing mode")
 		workers    = flag.Int("workers", 1, "intra-layer parallelism of the convolution kernels (results are bit-identical for any value)")
 		backend    = flag.String("conv", "gemm", "convolution engine: gemm (im2col fast path) | naive (reference loops)")
+		progress   = flag.Bool("progress", false, "print per-rank per-epoch training losses as they happen")
 	)
 	flag.Parse()
+
+	// Ctrl-C cancels training within one epoch (core.Trainer contract).
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
 
 	ds, err := dataset.Load(*dataPath)
 	if err != nil {
@@ -93,6 +102,13 @@ func main() {
 		cfg.Model.Channels[0] = *window * grid.NumChannels
 	}
 
+	opts := []core.TrainerOption{}
+	if *progress {
+		opts = append(opts, core.WithProgress(func(p core.Progress) {
+			fmt.Printf("  rank %d epoch %d: loss %.4g\n", p.Rank, p.Epoch, p.Loss)
+		}))
+	}
+
 	switch *mode {
 	case "parallel":
 		px, py := mpi.BalancedDims(*ranks)
@@ -102,10 +118,16 @@ func main() {
 		}
 		fmt.Printf("parallel training on %dx%d ranks, strategy %v, %s/%s, %d epochs (%v mode)\n",
 			px, py, strat, *optName, *lossName, *epochs, execMode)
-		res, err := core.TrainParallel(train, px, py, cfg, execMode)
+		trainer, err := core.NewTrainer(cfg, append(opts,
+			core.WithTopology(px, py), core.WithExecMode(execMode))...)
 		if err != nil {
 			log.Fatal(err)
 		}
+		rep, err := trainer.Train(ctx, train)
+		if err != nil {
+			log.Fatal(err)
+		}
+		res := rep.Parallel
 		tbl := stats.NewTable("per-rank results", "rank", "block", "final-loss", "seconds")
 		for _, rr := range res.Ranks {
 			tbl.Add(fmt.Sprint(rr.Rank), rr.Block.String(),
@@ -121,10 +143,15 @@ func main() {
 
 	case "sequential":
 		fmt.Printf("sequential whole-domain training, %d epochs\n", *epochs)
-		rr, err := core.TrainSequential(train, cfg)
+		trainer, err := core.NewTrainer(cfg, opts...) // default topology: 1x1
 		if err != nil {
 			log.Fatal(err)
 		}
+		rep, err := trainer.Train(ctx, train)
+		if err != nil {
+			log.Fatal(err)
+		}
+		rr := &rep.Parallel.Ranks[0]
 		fmt.Printf("final loss %.4g in %.3fs\n", rr.FinalLoss(), rr.Seconds)
 		ck := model.Snapshot(cfg.Model, rr.Model)
 		ck.Px, ck.Py = 1, 1
@@ -139,10 +166,15 @@ func main() {
 
 	case "dataparallel":
 		fmt.Printf("data-parallel baseline (weight averaging) on %d replicas, %d epochs\n", *ranks, *epochs)
-		res, err := core.TrainDataParallel(train, *ranks, cfg)
+		trainer, err := core.NewTrainer(cfg, append(opts, core.WithDataParallel(*ranks))...)
 		if err != nil {
 			log.Fatal(err)
 		}
+		rep, err := trainer.Train(ctx, train)
+		if err != nil {
+			log.Fatal(err)
+		}
+		res := rep.DataParallel
 		fmt.Printf("final loss %.4g in %.3fs wall\n", res.FinalLoss(), res.WallSeconds)
 		fmt.Printf("training communication: %d msgs, %.2f MB (the paper's scheme uses none)\n",
 			res.CommStats.MessagesSent, float64(res.CommStats.BytesSent)/1e6)

@@ -4,15 +4,24 @@
 //
 // The paper's contribution — communication-free parallel training of
 // per-subdomain CNN surrogates for PDE solvers, with point-to-point
-// halo exchange at inference time — lives in internal/core. Every
-// substrate it needs is implemented in this module:
+// halo exchange at inference time — lives in internal/core, behind a
+// session-oriented serving API (DESIGN.md §7): core.Trainer is the
+// single cancellable training entrypoint (paper scheme, sequential
+// reference, and the data-parallel baseline as options, with progress
+// callbacks), and core.Engine wraps a trained ensemble for concurrent
+// serving — any number of streaming rollout Sessions and one-shot
+// Predict calls run at once over weight-sharing model clones
+// (nn.Sequential.CloneShared), each cancellable mid-flight and O(1) in
+// memory regardless of rollout depth. Every substrate the scheme
+// needs is implemented in this module:
 //
 //   - internal/tensor — dense float64 N-d tensors and the GEMM +
 //     im2col convolution engine (blocked panel kernels with AVX2/
 //     AVX-512 FMA assembly on amd64 and a portable fallback)
 //   - internal/nn     — CNN layers with hand-derived backprop, a
-//     fast-path/slow-path engine switch (DESIGN.md §3) and reusable
-//     scratch arenas
+//     fast-path/slow-path engine switch (DESIGN.md §3, pinnable
+//     per-network for serving), reusable scratch arenas, and
+//     weight-sharing clones for concurrent inference
 //   - internal/opt    — SGD / momentum / RMSProp / ADAM (paper Eq. 3–6)
 //   - internal/loss   — MSE / MAE / MAPE (paper Eq. 7) / SMAPE / Huber
 //   - internal/mpi    — goroutine message-passing runtime with MPI

@@ -10,6 +10,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -60,23 +61,32 @@ func main() {
 	tcfg.Model.Strategy = model.NeighborPad // approach 2: halo from neighbours
 	fmt.Printf("training %d subdomain networks (%v strategy, ADAM+MAPE, %d epochs)...\n",
 		px*py, tcfg.Model.Strategy, epochs)
-	res, err := core.TrainParallel(train, px, py, tcfg, core.CriticalPath)
+	ctx := context.Background()
+	trainer, err := core.NewTrainer(tcfg, core.WithTopology(px, py))
 	if err != nil {
 		log.Fatal(err)
 	}
+	rep, err := trainer.Train(ctx, train)
+	if err != nil {
+		log.Fatal(err)
+	}
+	res := rep.Parallel
 	for _, rr := range res.Ranks {
 		fmt.Printf("  rank %d block %-14s final MAPE %.3f%%  (%.2fs)\n",
 			rr.Rank, rr.Block, rr.FinalLoss(), rr.Seconds)
 	}
 
 	// Fig. 3 protocol: evaluate one-step predictions over the entire
-	// validation set, per channel.
-	e := res.Ensemble()
+	// validation set, per channel, served through the engine.
+	eng, err := core.NewEngine(rep.Ensemble())
+	if err != nil {
+		log.Fatal(err)
+	}
 	pairs := val.Pairs()
 	preds := make([]*tensor.Tensor, len(pairs))
 	tgts := make([]*tensor.Tensor, len(pairs))
 	for i, pr := range pairs {
-		preds[i], err = e.PredictOneStep(pr.Input)
+		preds[i], err = eng.Predict(ctx, pr.Input)
 		if err != nil {
 			log.Fatal(err)
 		}

@@ -10,6 +10,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -48,18 +49,35 @@ func main() {
 
 	fmt.Printf("training both schemes on %d ranks for %d epochs...\n\n", ranks, epochs)
 
-	ours, err := core.TrainParallel(train, 2, 2, cfg, core.CriticalPath)
+	// Both schemes share one Trainer API: only the options differ.
+	ctx := context.Background()
+	ourTrainer, err := core.NewTrainer(cfg, core.WithTopology(2, 2))
 	if err != nil {
 		log.Fatal(err)
 	}
-	base, err := core.TrainDataParallel(train, ranks, cfg)
+	ourRep, err := ourTrainer.Train(ctx, train)
 	if err != nil {
 		log.Fatal(err)
 	}
+	ours := ourRep.Parallel
+	baseTrainer, err := core.NewTrainer(cfg, core.WithDataParallel(ranks))
+	if err != nil {
+		log.Fatal(err)
+	}
+	baseRep, err := baseTrainer.Train(ctx, train)
+	if err != nil {
+		log.Fatal(err)
+	}
+	base := baseRep.DataParallel
 
-	// Validation error of each scheme's prediction.
+	// Validation error of each scheme's prediction, served through the
+	// engine.
+	eng, err := core.NewEngine(ourRep.Ensemble())
+	if err != nil {
+		log.Fatal(err)
+	}
 	pair := val.Pairs()[0]
-	ourPred, err := ours.Ensemble().PredictOneStep(pair.Input)
+	ourPred, err := eng.Predict(ctx, pair.Input)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -11,6 +11,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -53,26 +54,39 @@ func main() {
 	}
 
 	// 3. Train the paper's scheme: a 2x2 process grid, one Table-I CNN
-	//    per subdomain, ADAM + MAPE, zero communication.
+	//    per subdomain, ADAM + MAPE, zero communication. The Trainer is
+	//    cancellable (ctx) and can stream progress; here we take the
+	//    defaults.
 	fmt.Println("2. training 4 independent subdomain networks...")
+	ctx := context.Background()
 	cfg := core.DefaultTrainConfig()
 	cfg.Epochs = 30
 	cfg.LR = 0.003
 	cfg.BatchSize = 4
-	res, err := core.TrainParallel(train, 2, 2, cfg, core.CriticalPath)
+	trainer, err := core.NewTrainer(cfg, core.WithTopology(2, 2))
 	if err != nil {
 		log.Fatal(err)
 	}
+	rep, err := trainer.Train(ctx, train)
+	if err != nil {
+		log.Fatal(err)
+	}
+	res := rep.Parallel
 	fmt.Printf("   critical-path time %.2fs (sum over ranks %.2fs, speedup %.2fx)\n",
 		res.CriticalPathSeconds, res.TotalComputeSeconds, res.Speedup())
 	fmt.Printf("   messages exchanged during training: %d (the paper's central claim)\n",
 		res.TrainCommStats.MessagesSent)
 
-	// 4. Predict one step ahead on a validation snapshot and compare.
+	// 4. Serve a one-step prediction on a validation snapshot through
+	//    the Engine (goroutine-safe: any number of Predict calls and
+	//    rollout Sessions could run concurrently over it).
 	fmt.Println("3. one-step prediction on validation data...")
-	e := res.Ensemble()
+	eng, err := core.NewEngine(rep.Ensemble())
+	if err != nil {
+		log.Fatal(err)
+	}
 	pair := val.Pairs()[0]
-	pred, err := e.PredictOneStep(pair.Input)
+	pred, err := eng.Predict(ctx, pair.Input)
 	if err != nil {
 		log.Fatal(err)
 	}

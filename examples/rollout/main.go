@@ -11,6 +11,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -20,6 +21,7 @@ import (
 	"repro/internal/model"
 	"repro/internal/mpi"
 	"repro/internal/stats"
+	"repro/internal/tensor"
 )
 
 func main() {
@@ -45,6 +47,7 @@ func main() {
 		log.Fatal(err)
 	}
 
+	ctx := context.Background()
 	cfg := core.DefaultTrainConfig()
 	cfg.Epochs = epochs
 	cfg.Loss = "mse"
@@ -52,30 +55,46 @@ func main() {
 	cfg.BatchSize = 4
 	cfg.Model.Strategy = model.NeighborPad
 	fmt.Printf("training 2x2 ensemble for %d epochs...\n", epochs)
-	res, err := core.TrainParallel(train, 2, 2, cfg, core.CriticalPath)
+	trainer, err := core.NewTrainer(cfg, core.WithTopology(2, 2))
+	if err != nil {
+		log.Fatal(err)
+	}
+	rep, err := trainer.Train(ctx, train)
 	if err != nil {
 		log.Fatal(err)
 	}
 
+	// Serve the rollout through a streaming Session: each frame is
+	// scored and discarded as it is produced, so a 10k-step rollout
+	// would use the same memory as this 12-step one.
 	start := snaps * 2 / 3
-	e := res.Ensemble()
-	fmt.Printf("rolling out %d steps from validation snapshot %d...\n", depth, start)
-	roll, err := e.Rollout(nds.Snapshots[start], depth, mpi.ClusterEthernet())
+	eng, err := core.NewEngine(rep.Ensemble(), core.WithNetModel(mpi.ClusterEthernet()))
 	if err != nil {
 		log.Fatal(err)
 	}
+	fmt.Printf("rolling out %d steps from validation snapshot %d (streaming session)...\n", depth, start)
+	ses, err := eng.NewSession(ctx, nds.Snapshots[start])
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer ses.Close()
 
 	tbl := stats.NewTable("error accumulation over rollout depth (§IV-B)",
 		"step", "mape[%]", "rmse", "1-r2")
-	for k, pred := range roll.Steps {
+	err = ses.Run(ctx, depth, func(k int, pred *tensor.Tensor) error {
 		m := stats.Compute(pred, nds.Snapshots[start+k+1])
 		tbl.Add(fmt.Sprint(k+1), fmt.Sprintf("%.3f", m.MAPE),
 			fmt.Sprintf("%.3e", m.RMSE), fmt.Sprintf("%.4f", 1-m.R2))
+		return nil
+	})
+	if err != nil {
+		log.Fatal(err)
 	}
 	fmt.Print(tbl.String())
+	halo, comm := ses.HaloCommStats(), ses.CommStats()
 	fmt.Printf("\nhalo exchange: %d msgs, %.1f KB; modeled comm time on 10GbE: %.4fs\n",
-		roll.HaloCommStats.MessagesSent, float64(roll.HaloCommStats.BytesSent)/1e3,
-		roll.CommStats.VirtualCommSeconds)
+		halo.MessagesSent, float64(halo.BytesSent)/1e3,
+		comm.VirtualCommSeconds)
 	fmt.Println("expected: error grows with depth — the motivation for the")
 	fmt.Println("LSTM/recurrent extension the paper leaves to future work")
 	fmt.Println("(implemented here in examples/temporal).")

@@ -9,6 +9,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -45,11 +46,15 @@ func main() {
 	var table stats.ScalingTable
 	for _, p := range []int{1, 4, 16} {
 		px, py := mpi.BalancedDims(p)
-		res, err := core.TrainParallel(nds, px, py, cfg, core.CriticalPath)
+		trainer, err := core.NewTrainer(cfg, core.WithTopology(px, py))
 		if err != nil {
 			log.Fatalf("P=%d: %v", p, err)
 		}
-		table.Add(p, res.CriticalPathSeconds)
+		rep, err := trainer.Train(context.Background(), nds)
+		if err != nil {
+			log.Fatalf("P=%d: %v", p, err)
+		}
+		table.Add(p, rep.Parallel.CriticalPathSeconds)
 	}
 	fmt.Print(table.Render("strong scaling (critical-path timing, DESIGN.md §5)").String())
 	fmt.Println("\npaper's Fig. 4: near-perfect scaling 1 → 64 cores (4096s → 64s);")

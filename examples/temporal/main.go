@@ -15,8 +15,10 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
+	"sync"
 
 	"repro/internal/core"
 	"repro/internal/dataset"
@@ -24,6 +26,7 @@ import (
 	"repro/internal/grid"
 	"repro/internal/model"
 	"repro/internal/stats"
+	"repro/internal/tensor"
 )
 
 func main() {
@@ -50,6 +53,7 @@ func main() {
 		log.Fatal(err)
 	}
 
+	ctx := context.Background()
 	base := core.DefaultTrainConfig()
 	base.Epochs = epochs
 	base.Loss = "mse"
@@ -58,7 +62,11 @@ func main() {
 	base.Model.Strategy = model.NeighborPad
 
 	fmt.Printf("training single-frame ensemble (%d epochs)...\n", epochs)
-	single, err := core.TrainParallel(train, 2, 2, base, core.CriticalPath)
+	sTrainer, err := core.NewTrainer(base, core.WithTopology(2, 2))
+	if err != nil {
+		log.Fatal(err)
+	}
+	single, err := sTrainer.Train(ctx, train)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -68,29 +76,57 @@ func main() {
 	wcfg.Model.Channels = append([]int(nil), base.Model.Channels...)
 	wcfg.Model.Channels[0] = window * grid.NumChannels
 	fmt.Printf("training %d-frame temporal-window ensemble (%d epochs)...\n", window, epochs)
-	temporal, err := core.TrainParallel(train, 2, 2, wcfg, core.CriticalPath)
+	wTrainer, err := core.NewTrainer(wcfg, core.WithTopology(2, 2))
+	if err != nil {
+		log.Fatal(err)
+	}
+	temporal, err := wTrainer.Train(ctx, train)
 	if err != nil {
 		log.Fatal(err)
 	}
 
-	// Roll both out from the start of the validation region.
+	// Roll both out from the start of the validation region — as two
+	// concurrent streaming sessions, one per engine.
 	const start = 100
-	sRoll, err := single.Ensemble().Rollout(nds.Snapshots[start], depth, nil)
-	if err != nil {
-		log.Fatal(err)
+	rollOne := func(rep *core.TrainReport, initials []*tensor.Tensor, rel []float64) error {
+		eng, err := core.NewEngine(rep.Ensemble())
+		if err != nil {
+			return err
+		}
+		ses, err := eng.NewSession(ctx, initials...)
+		if err != nil {
+			return err
+		}
+		defer ses.Close()
+		return ses.Run(ctx, depth, func(k int, frame *tensor.Tensor) error {
+			rel[k] = 1 - stats.Compute(frame, nds.Snapshots[start+k+1]).R2
+			return nil
+		})
 	}
-	tRoll, err := temporal.Ensemble().RolloutSeq(nds.Snapshots[start-window+1:start+1], depth, nil)
-	if err != nil {
-		log.Fatal(err)
+	relS := make([]float64, depth)
+	relT := make([]float64, depth)
+	var wg sync.WaitGroup
+	errs := make([]error, 2)
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		errs[0] = rollOne(single, nds.Snapshots[start:start+1], relS)
+	}()
+	go func() {
+		defer wg.Done()
+		errs[1] = rollOne(temporal, nds.Snapshots[start-window+1:start+1], relT)
+	}()
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			log.Fatal(err)
+		}
 	}
 
 	tbl := stats.NewTable("rollout error (1 - R²) vs depth: single frame vs 3-frame window",
 		"step", "single", "window-3")
 	for k := 0; k < depth; k++ {
-		truth := nds.Snapshots[start+k+1]
-		relS := 1 - stats.Compute(sRoll.Steps[k], truth).R2
-		relT := 1 - stats.Compute(tRoll.Steps[k], truth).R2
-		tbl.Add(fmt.Sprint(k+1), fmt.Sprintf("%.4f", relS), fmt.Sprintf("%.4f", relT))
+		tbl.Add(fmt.Sprint(k+1), fmt.Sprintf("%.4f", relS[k]), fmt.Sprintf("%.4f", relT[k]))
 	}
 	fmt.Print(tbl.String())
 	fmt.Println("\nthe temporal window gives the network the finite-difference-in-time")

@@ -1,13 +1,11 @@
 package core
 
 import (
-	"fmt"
+	"context"
 
 	"repro/internal/dataset"
-	"repro/internal/model"
 	"repro/internal/mpi"
 	"repro/internal/nn"
-	"repro/internal/tensor"
 )
 
 // DataParallelResult is the outcome of the Viviani-style baseline [4]:
@@ -44,101 +42,18 @@ func (r *DataParallelResult) FinalLoss() float64 {
 // replicas: whole-domain samples are dealt round-robin to the ranks,
 // each rank performs one local epoch, and after every epoch the
 // replicas' flattened weights are averaged with an Allreduce.
+//
+// Deprecated: use NewTrainer(cfg, WithDataParallel(ranks)) and
+// Trainer.Train, which add context cancellation and progress
+// reporting. This wrapper produces bit-identical models.
 func TrainDataParallel(ds *dataset.Dataset, ranks int, cfg TrainConfig) (*DataParallelResult, error) {
-	if err := cfg.Validate(); err != nil {
+	t, err := NewTrainer(cfg, WithDataParallel(ranks))
+	if err != nil {
 		return nil, err
 	}
-	if ranks <= 0 {
-		return nil, fmt.Errorf("core: non-positive rank count %d", ranks)
+	rep, err := t.Train(context.Background(), ds)
+	if err != nil {
+		return nil, err
 	}
-	pairs := ds.Pairs()
-	if len(pairs) < ranks {
-		return nil, fmt.Errorf("core: %d samples cannot be sharded over %d ranks", len(pairs), ranks)
-	}
-	if cfg.Model.Strategy != model.ZeroPad {
-		return nil, fmt.Errorf("core: the data-parallel baseline supports only the zero-pad strategy (whole-domain replicas)")
-	}
-
-	world := mpi.NewWorld(ranks)
-	res := &DataParallelResult{Ranks: ranks, History: make([]float64, cfg.Epochs)}
-	models := make([]*nn.Sequential, ranks)
-	errs := make([]error, ranks)
-
-	res.WallSeconds = measure(func() {
-		runErr := world.Run(func(c *mpi.Comm) {
-			r := c.Rank()
-			// Every replica starts from identical weights (same seed).
-			mc := cfg.Model
-			m, err := model.Build(mc)
-			if err != nil {
-				errs[r] = err
-				return
-			}
-			optimizer, err := NewOptimizer(cfg.Optimizer, cfg.lr())
-			if err != nil {
-				errs[r] = err
-				return
-			}
-			lossFn, err := NewLoss(cfg.Loss)
-			if err != nil {
-				errs[r] = err
-				return
-			}
-			// Round-robin shard.
-			var shard []dataset.Sample
-			for i := r; i < len(pairs); i += ranks {
-				shard = append(shard, pairs[i])
-			}
-			var rng *tensor.RNG
-			if cfg.Shuffle {
-				rng = tensor.NewRNG(cfg.Seed + int64(r))
-			}
-			for epoch := 0; epoch < cfg.Epochs; epoch++ {
-				if cfg.Schedule != nil {
-					optimizer.SetLR(cfg.Schedule.LRAt(epoch))
-				}
-				batches := dataset.MiniBatches(len(shard), cfg.BatchSize, rng)
-				epochLoss, seen := 0.0, 0
-				for _, idx := range batches {
-					in, tg := dataset.Gather(shard, idx)
-					nn.ZeroGrads(m)
-					pred := m.Forward(in)
-					l, dPred := lossFn.Eval(pred, tg)
-					m.Backward(dPred)
-					if cfg.ClipNorm > 0 {
-						nn.ClipGradNorm(m, cfg.ClipNorm)
-					}
-					optimizer.Step(m)
-					epochLoss += l * float64(len(idx))
-					seen += len(idx)
-				}
-				// The defining step of the baseline: average the
-				// replicas' weights with a global reduction.
-				avg := c.Allreduce(nn.FlattenParams(m), mpi.OpSum)
-				for i := range avg {
-					avg[i] /= float64(ranks)
-				}
-				if err := nn.UnflattenParams(m, avg); err != nil {
-					errs[r] = err
-					return
-				}
-				meanLoss := c.AllreduceScalar(epochLoss/float64(seen), mpi.OpSum) / float64(ranks)
-				if r == 0 {
-					res.History[epoch] = meanLoss
-				}
-			}
-			models[r] = m
-		})
-		if runErr != nil && errs[0] == nil {
-			errs[0] = runErr
-		}
-	})
-	for r, e := range errs {
-		if e != nil {
-			return nil, fmt.Errorf("core: data-parallel rank %d: %w", r, e)
-		}
-	}
-	res.Model = models[0]
-	res.CommStats = world.TotalStats()
-	return res, nil
+	return rep.DataParallel, nil
 }

@@ -8,8 +8,8 @@
 package core
 
 import (
+	"context"
 	"fmt"
-	"math"
 	"time"
 
 	"repro/internal/dataset"
@@ -19,7 +19,6 @@ import (
 	"repro/internal/model"
 	"repro/internal/nn"
 	"repro/internal/opt"
-	"repro/internal/tensor"
 )
 
 // TrainConfig collects everything needed to train one per-subdomain
@@ -155,67 +154,14 @@ func NewLoss(name string) (loss.Loss, error) {
 
 // trainOne runs the full training loop for one network on one set of
 // samples and returns the trained model plus the per-epoch mean loss
-// history. It is the inner kernel shared by every trainer in this
-// package.
+// history.
+//
+// Deprecated: the inner kernel now lives on Trainer (with context
+// cancellation and progress reporting); this wrapper is kept for the
+// original call sites and produces bit-identical models.
 func trainOne(samples []dataset.Sample, cfg TrainConfig, modelSeed, shuffleSeed int64) (*nn.Sequential, []float64, error) {
-	if len(samples) == 0 {
-		return nil, nil, fmt.Errorf("core: no training samples")
-	}
-	mc := cfg.Model
-	mc.Seed = modelSeed
-	m, err := model.Build(mc)
-	if err != nil {
-		return nil, nil, err
-	}
-	// One shared scratch arena per rank model: the convolution layers'
-	// im2col panels all come from it, so a whole epoch reuses the same
-	// few buffers. The Workers knob fans the panel GEMMs out without
-	// changing results.
-	m.SetScratch(nn.NewArena())
-	m.SetWorkers(cfg.Workers)
-	optimizer, err := NewOptimizer(cfg.Optimizer, cfg.lr())
-	if err != nil {
-		return nil, nil, err
-	}
-	lossFn, err := NewLoss(cfg.Loss)
-	if err != nil {
-		return nil, nil, err
-	}
-	crop := cfg.Model.TargetCrop()
-	var rng *tensor.RNG
-	if cfg.Shuffle {
-		rng = tensor.NewRNG(shuffleSeed)
-	}
-	history := make([]float64, 0, cfg.Epochs)
-	for epoch := 0; epoch < cfg.Epochs; epoch++ {
-		if cfg.Schedule != nil {
-			optimizer.SetLR(cfg.Schedule.LRAt(epoch))
-		}
-		batches := dataset.MiniBatches(len(samples), cfg.BatchSize, rng)
-		epochLoss := 0.0
-		seen := 0
-		for _, idx := range batches {
-			in, tg := dataset.Gather(samples, idx)
-			if crop > 0 {
-				tg = tensor.Crop2D(tg, crop)
-			}
-			nn.ZeroGrads(m)
-			pred := m.Forward(in)
-			l, dPred := lossFn.Eval(pred, tg)
-			if math.IsNaN(l) || math.IsInf(l, 0) {
-				return nil, history, fmt.Errorf("core: training diverged at epoch %d (loss %g); reduce the learning rate", epoch, l)
-			}
-			m.Backward(dPred)
-			if cfg.ClipNorm > 0 {
-				nn.ClipGradNorm(m, cfg.ClipNorm)
-			}
-			optimizer.Step(m)
-			epochLoss += l * float64(len(idx))
-			seen += len(idx)
-		}
-		history = append(history, epochLoss/float64(seen))
-	}
-	return m, history, nil
+	t := &Trainer{cfg: cfg, px: 1, py: 1}
+	return t.trainOne(context.Background(), samples, cfg, modelSeed, shuffleSeed, 0)
 }
 
 // RankResult is the outcome of training one subdomain network.

@@ -1,0 +1,378 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"sync"
+
+	"repro/internal/model"
+	"repro/internal/mpi"
+	"repro/internal/nn"
+	"repro/internal/tensor"
+)
+
+// Engine is the goroutine-safe serving front-end over a trained
+// Ensemble. It never mutates the ensemble it wraps: every session (and
+// every Predict call) runs on weight-sharing clones of the rank models
+// (nn.Sequential.CloneShared) drawn from an internal pool, each with
+// its own scratch arena, worker count and convolution-engine pin. Any
+// number of sessions can therefore roll out concurrently over one
+// Engine — the serving property the paper's cheap per-subdomain
+// inference (§III) is meant to enable.
+type Engine struct {
+	ens        *Ensemble
+	workers    int
+	workersSet bool // false = clones inherit the ensemble models' knob
+	netModel   *mpi.NetModel
+	backend    *nn.ConvBackend
+	pool       sync.Pool // of *rankModels
+}
+
+// rankModels is one pooled set of per-rank inference clones.
+type rankModels struct {
+	models []*nn.Sequential
+}
+
+// EngineOption configures an Engine at construction time.
+type EngineOption func(*Engine)
+
+// WithWorkers sets the intra-layer parallelism of the convolution
+// kernels for every session served by this engine (0 or 1 =
+// single-threaded; results are bit-identical for any value). Unlike
+// the deprecated Ensemble.SetWorkers this never touches the shared
+// models — the knob is applied to each session's private clones.
+// Without this option, clones inherit whatever knob the ensemble's
+// models already carry (e.g. from TrainConfig.Workers).
+func WithWorkers(n int) EngineOption {
+	return func(e *Engine) { e.workers, e.workersSet = n, true }
+}
+
+// WithNetModel attaches a virtual network-cost model: every session
+// message is charged latency + size/bandwidth virtual time in its
+// CommStats. A nil model is ignored.
+func WithNetModel(m *mpi.NetModel) EngineOption {
+	return func(e *Engine) { e.netModel = m }
+}
+
+// WithConvBackend pins the convolution engine (nn.FastPath or
+// nn.SlowPath) for this engine's sessions instead of following the
+// package-level nn.Backend switch, so engines with different backends
+// can coexist in one process.
+func WithConvBackend(b nn.ConvBackend) EngineOption {
+	return func(e *Engine) { e.backend = &b }
+}
+
+// NewEngine validates the ensemble and wraps it for serving. The
+// ensemble must not be mutated afterwards (train elsewhere, then build
+// a fresh engine).
+func NewEngine(e *Ensemble, opts ...EngineOption) (*Engine, error) {
+	if err := e.Validate(); err != nil {
+		return nil, err
+	}
+	eng := &Engine{ens: e}
+	for _, o := range opts {
+		o(eng)
+	}
+	if eng.workersSet && eng.workers < 0 {
+		return nil, fmt.Errorf("core: negative engine workers %d", eng.workers)
+	}
+	eng.pool.New = func() any { return eng.newRankModels() }
+	return eng, nil
+}
+
+// Ensemble returns the wrapped ensemble (treat as read-only).
+func (eng *Engine) Ensemble() *Ensemble { return eng.ens }
+
+// newRankModels builds one fresh set of per-rank inference clones with
+// the engine's knobs applied. Each clone shares the trained weights
+// but owns its caches and a single deduplicated scratch arena (from
+// CloneShared), so the steady-state rollout loop allocates nothing in
+// the lowering.
+func (eng *Engine) newRankModels() *rankModels {
+	rm := &rankModels{models: make([]*nn.Sequential, len(eng.ens.Models))}
+	for r, m := range eng.ens.Models {
+		c := m.CloneShared()
+		if eng.workersSet {
+			c.SetWorkers(eng.workers)
+		}
+		if eng.backend != nil {
+			c.SetConvBackend(*eng.backend)
+		}
+		rm.models[r] = c
+	}
+	return rm
+}
+
+// acquire takes a pooled clone set (allocating one if the pool is dry).
+func (eng *Engine) acquire() *rankModels { return eng.pool.Get().(*rankModels) }
+
+// release returns a clone set to the pool for the next session.
+func (eng *Engine) release(rm *rankModels) { eng.pool.Put(rm) }
+
+// validateStates checks a history of full-domain states against the
+// engine's grid and window, returning the effective window.
+func (eng *Engine) validateStates(states []*tensor.Tensor) (window int, err error) {
+	window = eng.ens.window()
+	if len(states) < window {
+		return 0, fmt.Errorf("core: need %d initial states for temporal window %d, got %d", window, window, len(states))
+	}
+	p := eng.ens.Partition
+	for _, st := range states {
+		if st.Rank() != 3 || st.Dim(1) != p.Ny || st.Dim(2) != p.Nx {
+			return 0, fmt.Errorf("core: state %v does not match grid %dx%d", st.Shape(), p.Nx, p.Ny)
+		}
+	}
+	if eng.ens.ModelCfg.Strategy == model.InnerCrop {
+		return 0, fmt.Errorf("core: the inner-crop strategy cannot serve: its output omits the subdomain interface points (paper §III)")
+	}
+	return window, nil
+}
+
+// Predict evaluates one step from a fully known history of full-domain
+// states (oldest first, at least Window of them) without any message
+// passing — the §IV-B one-step evaluation path, served concurrently:
+// any number of Predict calls may run at once.
+func (eng *Engine) Predict(ctx context.Context, states ...*tensor.Tensor) (*tensor.Tensor, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	window, err := eng.validateStates(states)
+	if err != nil {
+		return nil, err
+	}
+	rm := eng.acquire()
+	defer eng.release(rm)
+	p := eng.ens.Partition
+	halo := eng.ens.ModelCfg.Halo()
+	c := states[0].Dim(0)
+	// One SplitCHW per frame (not per rank per frame): pieces[k][r] is
+	// rank r's halo-extended slice of the k-th history frame.
+	pieces := make([][]*tensor.Tensor, window)
+	for k := 0; k < window; k++ {
+		pieces[k] = p.SplitCHW(states[len(states)-window+k], halo)
+	}
+	parts := make([]*tensor.Tensor, p.Ranks())
+	for r := 0; r < p.Ranks(); r++ {
+		b := p.BlockOfRank(r)
+		he, we := b.Height()+2*halo, b.Width()+2*halo
+		frames := make([]*tensor.Tensor, window)
+		for k := 0; k < window; k++ {
+			frames[k] = pieces[k][r].Reshape(1, c, he, we)
+		}
+		in4 := frames[0]
+		if window > 1 {
+			in4 = tensor.ConcatChannels(frames...)
+		}
+		out := rm.models[r].Forward(in4)
+		parts[r] = out.Reshape(c, b.Height(), b.Width())
+	}
+	return p.GatherCHW(parts), nil
+}
+
+// Session is one autoregressive rollout in progress: an incremental,
+// cancellable iterator over prediction steps. It holds O(1) frames of
+// state (the per-rank halo-extended histories), so a 10k-step rollout
+// costs the same memory as a 1-step one. A Session is not itself
+// goroutine-safe — one goroutine drives it — but any number of
+// Sessions over the same Engine may run concurrently.
+type Session struct {
+	eng      *Engine
+	rm       *rankModels
+	world    *mpi.World         // built once; each Step is one Run over it
+	hist     [][]*tensor.Tensor // per rank: extended frames, oldest first
+	channels int
+	step     int
+	closed   bool
+
+	stats     mpi.CommStats // cumulative over all steps
+	haloStats mpi.CommStats // cumulative halo-exchange share (rank 0)
+	lastStats mpi.CommStats // most recent step only
+	lastHalo  mpi.CommStats
+}
+
+// NewSession starts a rollout from the given full-domain initial
+// states (oldest first; ensembles with temporal window w need at least
+// w of them — a single-frame ensemble needs one). The session's model
+// clones come from the engine's pool; Close returns them.
+func (eng *Engine) NewSession(ctx context.Context, initials ...*tensor.Tensor) (*Session, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	window, err := eng.validateStates(initials)
+	if err != nil {
+		return nil, err
+	}
+	p := eng.ens.Partition
+	halo := eng.ens.ModelCfg.Halo()
+	c := initials[0].Dim(0)
+	// Pre-slice each rank's initial history. Initial states are fully
+	// known, so their halos come from direct slicing — no messages.
+	// One SplitCHW per frame hands every rank its piece.
+	hist := make([][]*tensor.Tensor, p.Ranks())
+	for r := range hist {
+		hist[r] = make([]*tensor.Tensor, window)
+	}
+	for k := 0; k < window; k++ {
+		full := initials[len(initials)-window+k]
+		pieces := p.SplitCHW(full, halo)
+		for r := 0; r < p.Ranks(); r++ {
+			b := p.BlockOfRank(r)
+			hist[r][k] = pieces[r].Reshape(1, c, b.Height()+2*halo, b.Width()+2*halo)
+		}
+	}
+	// One message-passing world for the whole session; each Step is one
+	// Run over it, so per-step stats come for free (Run re-collects
+	// from fresh per-run endpoints) without rebuilding the mailboxes
+	// every step.
+	var opts []mpi.Option
+	if eng.netModel != nil {
+		opts = append(opts, mpi.WithNetModel(eng.netModel))
+	}
+	world := mpi.NewWorld(p.Ranks(), opts...)
+	return &Session{eng: eng, rm: eng.acquire(), world: world, hist: hist, channels: c}, nil
+}
+
+// subStats returns a - b componentwise.
+func subStats(a, b mpi.CommStats) mpi.CommStats {
+	return mpi.CommStats{
+		MessagesSent:       a.MessagesSent - b.MessagesSent,
+		BytesSent:          a.BytesSent - b.BytesSent,
+		MessagesRecv:       a.MessagesRecv - b.MessagesRecv,
+		BytesRecv:          a.BytesRecv - b.BytesRecv,
+		VirtualCommSeconds: a.VirtualCommSeconds - b.VirtualCommSeconds,
+	}
+}
+
+// addStats accumulates src into dst.
+func addStats(dst *mpi.CommStats, src mpi.CommStats) {
+	dst.MessagesSent += src.MessagesSent
+	dst.BytesSent += src.BytesSent
+	dst.MessagesRecv += src.MessagesRecv
+	dst.BytesRecv += src.BytesRecv
+	dst.VirtualCommSeconds += src.VirtualCommSeconds
+}
+
+// Step advances the rollout by one autoregressive step and returns the
+// predicted full-domain CHW state: every rank predicts its subdomain,
+// exchanges halo strips point-to-point where the model strategy needs
+// them (the scheme's only genuine communication), and the pieces are
+// gathered into one frame. Cancellation is checked before the step
+// starts; a cancelled context returns ctx.Err() without touching the
+// rollout state, so the session remains usable if the caller retries.
+func (s *Session) Step(ctx context.Context) (*tensor.Tensor, error) {
+	if s.closed {
+		return nil, fmt.Errorf("core: Step on closed session")
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	eng := s.eng
+	p := eng.ens.Partition
+	halo := eng.ens.ModelCfg.Halo()
+	window := eng.ens.window()
+	c := s.channels
+	world := s.world
+
+	var frame *tensor.Tensor
+	var haloDelta mpi.CommStats
+	err := world.Run(func(comm *mpi.Comm) {
+		r := comm.Rank()
+		cart := mpi.NewCart(comm, p.Px, p.Py, false)
+		b := p.BlockOfRank(r)
+		hist := s.hist[r]
+		net := s.rm.models[r]
+		in := hist[0]
+		if window > 1 {
+			in = tensor.ConcatChannels(hist...)
+		}
+		out := net.Forward(in)
+		if out.Dim(2) != b.Height() || out.Dim(3) != b.Width() {
+			panic(fmt.Sprintf("core: rank %d produced %v for block %v", r, out.Shape(), b))
+		}
+		// Extend the new frame with neighbour halos for the next step.
+		next := out
+		if halo > 0 {
+			before := comm.Stats()
+			next = exchangeHalo(cart, out, halo)
+			if r == 0 {
+				haloDelta = subStats(comm.Stats(), before)
+			}
+		}
+		s.hist[r] = append(hist[1:], next)
+		// Gather this step's prediction on rank 0.
+		pieces := comm.Gather(0, out.Data())
+		if r == 0 {
+			parts := make([]*tensor.Tensor, p.Ranks())
+			for pr := range pieces {
+				pb := p.BlockOfRank(pr)
+				parts[pr] = tensor.FromSlice(pieces[pr], c, pb.Height(), pb.Width())
+			}
+			frame = p.GatherCHW(parts)
+		}
+	})
+	if err != nil {
+		return nil, err
+	}
+	s.lastStats = world.TotalStats()
+	s.lastHalo = haloDelta
+	addStats(&s.stats, s.lastStats)
+	addStats(&s.haloStats, haloDelta)
+	s.step++
+	return frame, nil
+}
+
+// Run drives the session `steps` steps, handing each predicted frame
+// to fn as it is produced (fn may be nil to discard frames). Frames
+// are NOT retained by the session, so memory stays O(1) in steps —
+// stream them to disk, metrics, or a network socket from fn. Run stops
+// early and returns the error if the context is cancelled (within one
+// step) or fn returns non-nil.
+func (s *Session) Run(ctx context.Context, steps int, fn func(k int, frame *tensor.Tensor) error) error {
+	if steps <= 0 {
+		return fmt.Errorf("core: non-positive rollout steps %d", steps)
+	}
+	for k := 0; k < steps; k++ {
+		frame, err := s.Step(ctx)
+		if err != nil {
+			return err
+		}
+		if fn != nil {
+			if err := fn(k, frame); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// Steps returns how many steps the session has completed.
+func (s *Session) Steps() int { return s.step }
+
+// CommStats returns the cumulative communication cost of all steps so
+// far (halo exchanges plus result gathers).
+func (s *Session) CommStats() mpi.CommStats { return s.stats }
+
+// HaloCommStats returns the cumulative halo-exchange share of the
+// traffic (rank 0's view, excluding result gathers) — the number the
+// paper's §III discussion is about.
+func (s *Session) HaloCommStats() mpi.CommStats { return s.haloStats }
+
+// LastStepStats returns the most recent step's communication cost
+// (total, halo share) — the incremental per-step report.
+func (s *Session) LastStepStats() (comm, halo mpi.CommStats) {
+	return s.lastStats, s.lastHalo
+}
+
+// Close releases the session's model clones back to the engine's pool.
+// Closing twice is a no-op; using the session after Close is an error.
+func (s *Session) Close() error {
+	if s.closed {
+		return nil
+	}
+	s.closed = true
+	s.eng.release(s.rm)
+	s.rm = nil
+	s.hist = nil
+	s.world = nil
+	return nil
+}

@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"os"
 	"path/filepath"
 
 	"repro/internal/decomp"
@@ -30,27 +31,37 @@ func SaveEnsemble(e *Ensemble, dir string) error {
 
 // LoadEnsemble reads the per-rank checkpoints written by SaveEnsemble
 // (or cmd/train) from dir and reassembles the inference ensemble.
+// Every failure mode — missing directory, missing or truncated rank
+// files, inconsistent partition metadata — returns a wrapped error
+// naming the offending file, never a panic.
 func LoadEnsemble(dir string) (*Ensemble, error) {
+	if st, err := os.Stat(dir); err != nil {
+		return nil, fmt.Errorf("core: load ensemble: checkpoint directory %s: %w", dir, err)
+	} else if !st.IsDir() {
+		return nil, fmt.Errorf("core: load ensemble: %s is not a directory", dir)
+	}
 	ck0, err := model.LoadCheckpoint(filepath.Join(dir, "rank0.gob"))
 	if err != nil {
-		return nil, err
+		return nil, fmt.Errorf("core: load ensemble from %s: %w (expected rank<N>.gob files from cmd/train or SaveEnsemble)", dir, err)
 	}
 	p, err := decomp.NewPartition(ck0.Nx, ck0.Ny, ck0.Px, ck0.Py)
 	if err != nil {
-		return nil, fmt.Errorf("core: checkpoint metadata: %w", err)
+		return nil, fmt.Errorf("core: load ensemble from %s: rank0.gob metadata: %w", dir, err)
 	}
 	e := &Ensemble{Partition: p, ModelCfg: ck0.Config, Window: ck0.Window, Models: make([]*nn.Sequential, p.Ranks())}
 	for r := 0; r < p.Ranks(); r++ {
 		ck, err := model.LoadCheckpoint(filepath.Join(dir, fmt.Sprintf("rank%d.gob", r)))
 		if err != nil {
-			return nil, err
+			return nil, fmt.Errorf("core: load ensemble from %s: rank0.gob declares a %dx%d grid (%d ranks): %w",
+				dir, p.Px, p.Py, p.Ranks(), err)
 		}
 		if ck.Rank != r || ck.Px != p.Px || ck.Py != p.Py || ck.Nx != p.Nx || ck.Ny != p.Ny {
-			return nil, fmt.Errorf("core: checkpoint rank%d.gob metadata inconsistent with rank0", r)
+			return nil, fmt.Errorf("core: load ensemble from %s: rank%d.gob (rank %d, %dx%d process grid, %dx%d domain) inconsistent with rank0.gob (%dx%d grid, %dx%d domain)",
+				dir, r, ck.Rank, ck.Px, ck.Py, ck.Nx, ck.Ny, p.Px, p.Py, p.Nx, p.Ny)
 		}
 		m, err := ck.Restore()
 		if err != nil {
-			return nil, err
+			return nil, fmt.Errorf("core: load ensemble from %s: rank%d.gob: %w", dir, r, err)
 		}
 		e.Models[r] = m
 	}

@@ -1,0 +1,117 @@
+package core
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/model"
+)
+
+// Satellite coverage: every LoadEnsemble failure mode returns a
+// wrapped, actionable error naming the problem — never a panic and
+// never a silent partial ensemble.
+
+func TestLoadEnsembleNonexistentDir(t *testing.T) {
+	_, err := LoadEnsemble(filepath.Join(t.TempDir(), "no-such-dir"))
+	if err == nil {
+		t.Fatal("nonexistent directory accepted")
+	}
+	if !strings.Contains(err.Error(), "no-such-dir") {
+		t.Fatalf("error does not name the directory: %v", err)
+	}
+}
+
+func TestLoadEnsemblePathIsFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "ckpt")
+	if err := os.WriteFile(path, []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadEnsemble(path); err == nil {
+		t.Fatal("plain file accepted as checkpoint directory")
+	}
+}
+
+func TestLoadEnsembleEmptyDirMentionsExpectedLayout(t *testing.T) {
+	_, err := LoadEnsemble(t.TempDir())
+	if err == nil {
+		t.Fatal("empty directory accepted")
+	}
+	if !strings.Contains(err.Error(), "rank") {
+		t.Fatalf("error does not explain the expected rank<N>.gob layout: %v", err)
+	}
+}
+
+func TestLoadEnsembleTruncatedRank0(t *testing.T) {
+	_, e := trainTinyEnsemble(t, model.ZeroPad, 2, 1)
+	dir := t.TempDir()
+	if err := SaveEnsemble(e, dir); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, "rank0.gob")
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, data[:len(data)/3], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, err = LoadEnsemble(dir)
+	if err == nil {
+		t.Fatal("truncated rank0 accepted")
+	}
+	if !strings.Contains(err.Error(), "rank0.gob") {
+		t.Fatalf("error does not name the truncated file: %v", err)
+	}
+}
+
+func TestLoadEnsembleMissingRankFile(t *testing.T) {
+	// rank0 declares a 2x2 grid but one of the four files is gone: the
+	// rank-count mismatch must name both the declared grid and the
+	// missing file.
+	_, e := trainTinyEnsemble(t, model.ZeroPad, 2, 2)
+	dir := t.TempDir()
+	if err := SaveEnsemble(e, dir); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Remove(filepath.Join(dir, "rank3.gob")); err != nil {
+		t.Fatal(err)
+	}
+	_, err := LoadEnsemble(dir)
+	if err == nil {
+		t.Fatal("missing rank file accepted")
+	}
+	msg := err.Error()
+	if !strings.Contains(msg, "rank3.gob") || !strings.Contains(msg, "2x2") {
+		t.Fatalf("error lacks the declared grid or missing file: %v", err)
+	}
+}
+
+func TestLoadEnsemblePartitionMismatch(t *testing.T) {
+	// A rank file from a different partition must be rejected with
+	// both partitions named.
+	_, e21 := trainTinyEnsemble(t, model.ZeroPad, 2, 1)
+	_, e12 := trainTinyEnsemble(t, model.ZeroPad, 1, 2)
+	dirA, dirB := t.TempDir(), t.TempDir()
+	if err := SaveEnsemble(e21, dirA); err != nil {
+		t.Fatal(err)
+	}
+	if err := SaveEnsemble(e12, dirB); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(filepath.Join(dirB, "rank1.gob"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dirA, "rank1.gob"), data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, err = LoadEnsemble(dirA)
+	if err == nil {
+		t.Fatal("mixed-partition checkpoints accepted")
+	}
+	if !strings.Contains(err.Error(), "inconsistent") {
+		t.Fatalf("error does not explain the inconsistency: %v", err)
+	}
+}

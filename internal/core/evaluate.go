@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/dataset"
@@ -14,16 +15,18 @@ import (
 // evaluation protocol as a library call. For temporal-window
 // ensembles the first Window-1 snapshots seed histories only.
 func EvaluateOneStep(e *Ensemble, ds *dataset.Dataset) (perChannel []stats.Metrics, overall stats.Metrics, err error) {
-	if err := e.Validate(); err != nil {
+	eng, err := NewEngine(e)
+	if err != nil {
 		return nil, stats.Metrics{}, err
 	}
 	window := e.window()
 	if ds.Len() < window+1 {
 		return nil, stats.Metrics{}, fmt.Errorf("core: dataset of %d snapshots cannot evaluate window %d", ds.Len(), window)
 	}
+	ctx := context.Background()
 	var preds, tgts []*tensor.Tensor
 	for i := window - 1; i+1 < ds.Len(); i++ {
-		pred, err := e.PredictOneStepSeq(ds.Snapshots[i-window+1 : i+1])
+		pred, err := eng.Predict(ctx, ds.Snapshots[i-window+1:i+1]...)
 		if err != nil {
 			return nil, stats.Metrics{}, err
 		}
@@ -38,22 +41,29 @@ func EvaluateOneStep(e *Ensemble, ds *dataset.Dataset) (perChannel []stats.Metri
 // EvaluateRollout rolls the ensemble out over the dataset's trailing
 // snapshots and returns the per-step aggregate metrics: entry k
 // compares the k+1-step prediction against the true snapshot. The
-// rollout starts from the dataset's first Window snapshots.
+// rollout starts from the dataset's first Window snapshots and streams
+// through a Session, so memory stays O(1) in steps.
 func EvaluateRollout(e *Ensemble, ds *dataset.Dataset, steps int) ([]stats.Metrics, error) {
-	if err := e.Validate(); err != nil {
+	eng, err := NewEngine(e)
+	if err != nil {
 		return nil, err
 	}
 	window := e.window()
 	if ds.Len() < window+steps {
 		return nil, fmt.Errorf("core: dataset of %d snapshots cannot score a %d-step rollout with window %d", ds.Len(), steps, window)
 	}
-	roll, err := e.RolloutSeq(ds.Snapshots[:window], steps, nil)
+	ctx := context.Background()
+	ses, err := eng.NewSession(ctx, ds.Snapshots[:window]...)
 	if err != nil {
 		return nil, err
 	}
+	defer ses.Close()
 	out := make([]stats.Metrics, steps)
-	for k := 0; k < steps; k++ {
-		out[k] = stats.Compute(roll.Steps[k], ds.Snapshots[window+k])
+	if err := ses.Run(ctx, steps, func(k int, frame *tensor.Tensor) error {
+		out[k] = stats.Compute(frame, ds.Snapshots[window+k])
+		return nil
+	}); err != nil {
+		return nil, err
 	}
 	return out, nil
 }

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/dataset"
@@ -97,80 +98,28 @@ func validatePartition(p *decomp.Partition, cfg TrainConfig) error {
 // each rank is its subdomain slice of every (t → t+1) pair, with a
 // halo where the model strategy requires one. No data is exchanged
 // between ranks during training.
+//
+// Deprecated: use NewTrainer(cfg, WithTopology(px, py),
+// WithExecMode(mode)) and Trainer.Train, which add context
+// cancellation and progress reporting. This wrapper produces
+// bit-identical models.
 func TrainParallel(ds *dataset.Dataset, px, py int, cfg TrainConfig, mode ExecMode) (*ParallelResult, error) {
-	if err := cfg.Validate(); err != nil {
-		return nil, err
-	}
-	p, err := decomp.NewPartition(ds.Grid.Nx, ds.Grid.Ny, px, py)
+	t, err := NewTrainer(cfg, WithTopology(px, py), WithExecMode(mode))
 	if err != nil {
 		return nil, err
 	}
-	if err := validatePartition(p, cfg); err != nil {
+	rep, err := t.Train(context.Background(), ds)
+	if err != nil {
 		return nil, err
 	}
-	if ds.Len() < cfg.Window()+1 {
-		return nil, fmt.Errorf("core: dataset has %d snapshots, need at least %d for window %d",
-			ds.Len(), cfg.Window()+1, cfg.Window())
-	}
-	halo := cfg.Model.Halo()
-	window := cfg.Window()
-	ranks := p.Ranks()
-	res := &ParallelResult{Partition: p, Config: cfg, Ranks: make([]RankResult, ranks)}
-
-	switch mode {
-	case CriticalPath:
-		for r := 0; r < ranks; r++ {
-			samples := dataset.WindowedSubdomainSamples(ds, p, r, halo, window)
-			ms, ss := rankSeeds(cfg, r)
-			var trainErr error
-			rr := &res.Ranks[r]
-			rr.Rank = r
-			rr.Block = p.BlockOfRank(r)
-			rr.Seconds = measure(func() {
-				rr.Model, rr.History, trainErr = trainOne(samples, cfg, ms, ss)
-			})
-			if trainErr != nil {
-				return nil, fmt.Errorf("core: rank %d: %w", r, trainErr)
-			}
-		}
-	case Concurrent:
-		world := mpi.NewWorld(ranks)
-		errs := make([]error, ranks)
-		err := world.Run(func(c *mpi.Comm) {
-			r := c.Rank()
-			samples := dataset.WindowedSubdomainSamples(ds, p, r, halo, window)
-			ms, ss := rankSeeds(cfg, r)
-			rr := &res.Ranks[r]
-			rr.Rank = r
-			rr.Block = p.BlockOfRank(r)
-			rr.Seconds = measure(func() {
-				rr.Model, rr.History, errs[r] = trainOne(samples, cfg, ms, ss)
-			})
-		})
-		if err != nil {
-			return nil, err
-		}
-		for r, e := range errs {
-			if e != nil {
-				return nil, fmt.Errorf("core: rank %d: %w", r, e)
-			}
-		}
-		res.TrainCommStats = world.TotalStats()
-	default:
-		return nil, fmt.Errorf("core: invalid exec mode %d", int(mode))
-	}
-
-	for _, rr := range res.Ranks {
-		if rr.Seconds > res.CriticalPathSeconds {
-			res.CriticalPathSeconds = rr.Seconds
-		}
-		res.TotalComputeSeconds += rr.Seconds
-	}
-	return res, nil
+	return rep.Parallel, nil
 }
 
 // TrainSequential trains a single whole-domain network — the P = 1
 // reference point of the Fig. 4 scaling study.
+//
+// Deprecated: use NewTrainer(cfg) and Trainer.Train (the default
+// topology is 1×1).
 func TrainSequential(ds *dataset.Dataset, cfg TrainConfig) (*RankResult, error) {
 	res, err := TrainParallel(ds, 1, 1, cfg, CriticalPath)
 	if err != nil {

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/decomp"
@@ -34,6 +35,11 @@ func (e *Ensemble) window() int {
 // SetWorkers sets the intra-layer parallelism knob on every rank's
 // network (see nn.Sequential.SetWorkers); results are bit-identical
 // for any value.
+//
+// Deprecated: this mutates the shared models, so it races with any
+// concurrent use of the ensemble. Use NewEngine(e, WithWorkers(n))
+// instead — the engine applies the knob to per-session clones and
+// never touches the ensemble.
 func (e *Ensemble) SetWorkers(workers int) {
 	for _, m := range e.Models {
 		if m != nil {
@@ -143,6 +149,9 @@ const gatherTag = 299
 // The inner-crop strategy cannot roll out (its output is smaller than
 // its subdomain — the usability objection the paper raises against
 // approach 3) and returns an error.
+//
+// Deprecated: use NewEngine + Engine.NewSession, which stream frames
+// in O(1) memory, are cancellable, and run concurrently.
 func (e *Ensemble) Rollout(initial *tensor.Tensor, steps int, netModel *mpi.NetModel) (*RolloutResult, error) {
 	return e.RolloutSeq([]*tensor.Tensor{initial}, steps, netModel)
 }
@@ -150,104 +159,37 @@ func (e *Ensemble) Rollout(initial *tensor.Tensor, steps int, netModel *mpi.NetM
 // RolloutSeq is Rollout for temporal-window ensembles: initials must
 // hold at least Window consecutive full-domain states, oldest first;
 // the rollout continues from the last of them.
+//
+// Deprecated: use NewEngine + Engine.NewSession. This wrapper drives a
+// session and materializes every frame, so it keeps the original
+// O(steps) memory behaviour; results are bit-identical.
 func (e *Ensemble) RolloutSeq(initials []*tensor.Tensor, steps int, netModel *mpi.NetModel) (*RolloutResult, error) {
-	if err := e.Validate(); err != nil {
-		return nil, err
-	}
 	if steps <= 0 {
 		return nil, fmt.Errorf("core: non-positive rollout steps %d", steps)
 	}
-	window := e.window()
-	if len(initials) < window {
-		return nil, fmt.Errorf("core: rollout needs %d initial states for window %d, got %d", window, window, len(initials))
-	}
-	p := e.Partition
-	for _, st := range initials {
-		if st.Rank() != 3 || st.Dim(1) != p.Ny || st.Dim(2) != p.Nx {
-			return nil, fmt.Errorf("core: rollout initial state %v does not match grid %dx%d", st.Shape(), p.Nx, p.Ny)
-		}
-	}
-	if e.ModelCfg.Strategy == model.InnerCrop {
-		return nil, fmt.Errorf("core: the inner-crop strategy cannot roll out: its output omits the subdomain interface points (paper §III)")
-	}
-	halo := e.ModelCfg.Halo()
-	c := initials[0].Dim(0)
-
-	var opts []mpi.Option
+	var opts []EngineOption
 	if netModel != nil {
-		opts = append(opts, mpi.WithNetModel(netModel))
+		opts = append(opts, WithNetModel(netModel))
 	}
-	world := mpi.NewWorld(p.Ranks(), opts...)
-
-	// Pre-slice each rank's initial history. Initial states are fully
-	// known, so their halos come from direct slicing — no messages.
-	histories := make([][]*tensor.Tensor, p.Ranks())
-	for r := 0; r < p.Ranks(); r++ {
-		b := p.BlockOfRank(r)
-		h := make([]*tensor.Tensor, window)
-		for k := 0; k < window; k++ {
-			full := initials[len(initials)-window+k]
-			piece := p.SplitCHW(full, halo)[r]
-			h[k] = piece.Reshape(1, c, b.Height()+2*halo, b.Width()+2*halo)
-		}
-		histories[r] = h
-	}
-
-	res := &RolloutResult{Steps: make([]*tensor.Tensor, steps)}
-	var haloStats mpi.CommStats
-
-	err := world.Run(func(comm *mpi.Comm) {
-		r := comm.Rank()
-		cart := mpi.NewCart(comm, p.Px, p.Py, false)
-		b := p.BlockOfRank(r)
-		hist := histories[r] // extended frames, oldest first
-		net := e.Models[r]
-		// One scratch arena per rank for the whole rollout: after the
-		// first step has sized its chunks, the convolution lowering of
-		// every later step allocates nothing (§IV time-stepping loop).
-		net.SetScratch(nn.NewArena())
-		for s := 0; s < steps; s++ {
-			in := hist[0]
-			if window > 1 {
-				in = tensor.ConcatChannels(hist...)
-			}
-			out := net.Forward(in)
-			if out.Dim(2) != b.Height() || out.Dim(3) != b.Width() {
-				panic(fmt.Sprintf("core: rank %d produced %v for block %v", r, out.Shape(), b))
-			}
-			// Extend the new frame with neighbour halos for the next
-			// step (the only genuine communication of the scheme).
-			next := out
-			if halo > 0 {
-				statsBefore := comm.Stats()
-				next = exchangeHalo(cart, out, halo)
-				statsAfter := comm.Stats()
-				if r == 0 {
-					haloStats.MessagesSent += statsAfter.MessagesSent - statsBefore.MessagesSent
-					haloStats.BytesSent += statsAfter.BytesSent - statsBefore.BytesSent
-					haloStats.MessagesRecv += statsAfter.MessagesRecv - statsBefore.MessagesRecv
-					haloStats.BytesRecv += statsAfter.BytesRecv - statsBefore.BytesRecv
-					haloStats.VirtualCommSeconds += statsAfter.VirtualCommSeconds - statsBefore.VirtualCommSeconds
-				}
-			}
-			hist = append(hist[1:], next)
-			// Gather this step's prediction on rank 0.
-			pieces := comm.Gather(0, out.Data())
-			if r == 0 {
-				parts := make([]*tensor.Tensor, p.Ranks())
-				for pr := range pieces {
-					pb := p.BlockOfRank(pr)
-					parts[pr] = tensor.FromSlice(pieces[pr], c, pb.Height(), pb.Width())
-				}
-				res.Steps[s] = p.GatherCHW(parts)
-			}
-		}
-	})
+	eng, err := NewEngine(e, opts...)
 	if err != nil {
 		return nil, err
 	}
-	res.CommStats = world.TotalStats()
-	res.HaloCommStats = haloStats
+	ctx := context.Background()
+	ses, err := eng.NewSession(ctx, initials...)
+	if err != nil {
+		return nil, err
+	}
+	defer ses.Close()
+	res := &RolloutResult{Steps: make([]*tensor.Tensor, steps)}
+	if err := ses.Run(ctx, steps, func(k int, frame *tensor.Tensor) error {
+		res.Steps[k] = frame
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+	res.CommStats = ses.CommStats()
+	res.HaloCommStats = ses.HaloCommStats()
 	return res, nil
 }
 
@@ -263,42 +205,16 @@ func (e *Ensemble) PredictOneStep(state *tensor.Tensor) (*tensor.Tensor, error) 
 // PredictOneStepSeq is PredictOneStep for temporal-window ensembles:
 // states holds at least Window consecutive full-domain states, oldest
 // first; the prediction follows the last of them.
+//
+// Deprecated: use NewEngine + Engine.Predict, which serves any number
+// of concurrent callers. This wrapper delegates to a throwaway engine;
+// results are bit-identical.
 func (e *Ensemble) PredictOneStepSeq(states []*tensor.Tensor) (*tensor.Tensor, error) {
-	if err := e.Validate(); err != nil {
+	eng, err := NewEngine(e)
+	if err != nil {
 		return nil, err
 	}
-	window := e.window()
-	if len(states) < window {
-		return nil, fmt.Errorf("core: prediction needs %d states for window %d, got %d", window, window, len(states))
-	}
-	p := e.Partition
-	for _, st := range states {
-		if st.Rank() != 3 || st.Dim(1) != p.Ny || st.Dim(2) != p.Nx {
-			return nil, fmt.Errorf("core: state %v does not match grid %dx%d", st.Shape(), p.Nx, p.Ny)
-		}
-	}
-	if e.ModelCfg.Strategy == model.InnerCrop {
-		return nil, fmt.Errorf("core: inner-crop predictions omit interface points and cannot be reassembled")
-	}
-	halo := e.ModelCfg.Halo()
-	c := states[0].Dim(0)
-	parts := make([]*tensor.Tensor, p.Ranks())
-	for r := 0; r < p.Ranks(); r++ {
-		b := p.BlockOfRank(r)
-		he, we := b.Height()+2*halo, b.Width()+2*halo
-		frames := make([]*tensor.Tensor, window)
-		for k := 0; k < window; k++ {
-			full := states[len(states)-window+k]
-			frames[k] = p.SplitCHW(full, halo)[r].Reshape(1, c, he, we)
-		}
-		in4 := frames[0]
-		if window > 1 {
-			in4 = tensor.ConcatChannels(frames...)
-		}
-		out := e.Models[r].Forward(in4)
-		parts[r] = out.Reshape(c, b.Height(), b.Width())
-	}
-	return p.GatherCHW(parts), nil
+	return eng.Predict(context.Background(), states...)
 }
 
 // SerialRollout runs autoregressive inference with a single

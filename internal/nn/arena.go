@@ -95,6 +95,22 @@ func (s *Sequential) SetScratch(a *Arena) {
 	}
 }
 
+// backendUser is implemented by layers with a per-instance convolution
+// engine pin.
+type backendUser interface{ SetConvBackend(ConvBackend) }
+
+// SetConvBackend pins the convolution engine on every contained layer
+// that has one, overriding the package-level Backend switch for this
+// network only. Networks with different pins can then coexist in one
+// process without racing on the global switch.
+func (s *Sequential) SetConvBackend(b ConvBackend) {
+	for _, l := range s.layers {
+		if u, ok := l.(backendUser); ok {
+			u.SetConvBackend(b)
+		}
+	}
+}
+
 // workersUser is implemented by layers with an intra-layer parallelism
 // knob.
 type workersUser interface{ SetWorkers(int) }

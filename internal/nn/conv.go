@@ -78,7 +78,8 @@ type Conv2D struct {
 	// its own Forward even if the Backend switch moves in between.
 	cacheInput *tensor.Tensor
 	cacheFast  bool
-	scratch    *Arena // im2col workspace (never nil after NewConv2D)
+	scratch    *Arena       // im2col workspace (never nil after NewConv2D)
+	backend    *ConvBackend // per-layer pin; nil follows the package switch
 	name       string
 }
 
@@ -135,6 +136,21 @@ func (c *Conv2D) SetScratch(a *Arena) {
 // SetWorkers sets the intra-layer parallelism knob.
 func (c *Conv2D) SetWorkers(workers int) { c.Workers = workers }
 
+// SetConvBackend pins this layer to one convolution engine regardless
+// of the package-level Backend switch — the per-instance form of the
+// switch, needed when engines with different backends coexist in one
+// process (see Sequential.SetConvBackend).
+func (c *Conv2D) SetConvBackend(b ConvBackend) { c.backend = &b }
+
+// engine returns the convolution engine this layer uses: the pinned
+// one if set, else the package-level switch.
+func (c *Conv2D) engine() ConvBackend {
+	if c.backend != nil {
+		return *c.backend
+	}
+	return Backend
+}
+
 // Forward implements Layer.
 func (c *Conv2D) Forward(x *tensor.Tensor) *tensor.Tensor {
 	if x.Rank() != 4 {
@@ -143,7 +159,7 @@ func (c *Conv2D) Forward(x *tensor.Tensor) *tensor.Tensor {
 	if x.Dim(1) != c.InChannels {
 		panic(fmt.Sprintf("nn: Conv2D %s expects %d input channels, got %d", c.name, c.InChannels, x.Dim(1)))
 	}
-	if Backend == FastPath {
+	if c.engine() == FastPath {
 		return c.forwardGEMM(x)
 	}
 	xp := x

@@ -37,6 +37,7 @@ type ConvTranspose2D struct {
 	cacheInput *tensor.Tensor
 	cacheFast  bool
 	scratch    *Arena
+	backend    *ConvBackend // per-layer pin; nil follows the package switch
 	name       string
 }
 
@@ -83,6 +84,18 @@ func (c *ConvTranspose2D) SetScratch(a *Arena) {
 // SetWorkers sets the intra-layer parallelism knob.
 func (c *ConvTranspose2D) SetWorkers(workers int) { c.Workers = workers }
 
+// SetConvBackend pins this layer to one convolution engine (see
+// Conv2D.SetConvBackend).
+func (c *ConvTranspose2D) SetConvBackend(b ConvBackend) { c.backend = &b }
+
+// engine returns the pinned convolution engine, or the package switch.
+func (c *ConvTranspose2D) engine() ConvBackend {
+	if c.backend != nil {
+		return *c.backend
+	}
+	return Backend
+}
+
 // Forward implements Layer:
 // y[n,co,iy+ky,ix+kx] += x[n,ci,iy,ix] · w[ci,co,ky,kx], plus bias.
 func (c *ConvTranspose2D) Forward(x *tensor.Tensor) *tensor.Tensor {
@@ -92,7 +105,7 @@ func (c *ConvTranspose2D) Forward(x *tensor.Tensor) *tensor.Tensor {
 	if x.Dim(1) != c.InChannels {
 		panic(fmt.Sprintf("nn: ConvTranspose2D %s expects %d input channels, got %d", c.name, c.InChannels, x.Dim(1)))
 	}
-	if Backend == FastPath {
+	if c.engine() == FastPath {
 		return c.forwardGEMM(x)
 	}
 	c.cacheInput = x.Clone()

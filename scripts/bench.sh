@@ -1,18 +1,20 @@
 #!/usr/bin/env bash
 # Regenerates BENCH_baseline.json: the committed perf-trajectory
 # snapshot of the convolution engine (GEMM fast path vs naive
-# reference) plus the per-layer Table-I costs. Run from anywhere:
+# reference), the per-layer Table-I costs, and the serving API's
+# concurrent-session rollout throughput (1 vs 4 sessions over one
+# Engine; the steps_per_s metric). Run from anywhere:
 #
 #   scripts/bench.sh                # writes BENCH_baseline.json
 #   scripts/bench.sh out.json      # writes elsewhere
 #
-# BENCHTIME (default 10x) and BENCH (default the conv benchmarks)
-# override the sweep.
+# BENCHTIME (default 10x) and BENCH (default the conv + session
+# benchmarks) override the sweep.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 OUT="${1:-BENCH_baseline.json}"
-BENCH="${BENCH:-ConvGEMMvsNaive|ConvGEMMWorkers|Table1_LayerForwardBackward}"
+BENCH="${BENCH:-ConvGEMMvsNaive|ConvGEMMWorkers|Table1_LayerForwardBackward|SessionConcurrentRollout}"
 BENCHTIME="${BENCHTIME:-10x}"
 
 RAW="$(mktemp)"
@@ -28,6 +30,7 @@ CPU="$(awk -F': ' '/^cpu:/{print $2; exit}' "$RAW")"
 	echo "  \"generated\": \"$(date -u +%Y-%m-%dT%H:%M:%SZ)\","
 	echo "  \"go\": \"$(go version | awk '{print $3}')\","
 	echo "  \"cpu\": \"$CPU\","
+	echo "  \"cpus\": $(getconf _NPROCESSORS_ONLN 2>/dev/null || echo 0),"
 	echo "  \"command\": \"go test -run ^\$ -bench '$BENCH' -benchtime $BENCHTIME -benchmem .\","
 	echo "  \"benchmarks\": ["
 	awk '
