@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test vet fmt race bench bench-smoke smoke ci
+.PHONY: build test vet fmt race bench bench-smoke smoke smoke-tcp ci
 
 build:
 	$(GO) build ./...
@@ -47,4 +47,24 @@ smoke:
 	$(GO) run ./cmd/infer -data smoke-out/data.gob -ckpt smoke-out/ckpt -steps 3
 	rm -rf smoke-out
 
-ci: build fmt vet test race bench-smoke smoke
+# Multi-process smoke: the same datagen → train → infer pipeline, but
+# as 4 real OS processes per step assembled into one mpi world over
+# localhost TCP by cmd/mpirun (DESIGN.md §8). Training uses the
+# neighbour-padding strategy so inference genuinely exchanges halo
+# strips over sockets; the rollout runs once with the blocking and
+# once with the overlapped exchange schedule (bit-identical frames).
+smoke-tcp:
+	rm -rf smoke-tcp-out && mkdir -p smoke-tcp-out
+	$(GO) build -o smoke-tcp-out/train ./cmd/train
+	$(GO) build -o smoke-tcp-out/infer ./cmd/infer
+	$(GO) build -o smoke-tcp-out/mpirun ./cmd/mpirun
+	$(GO) run ./cmd/datagen -n 24 -snapshots 30 -out smoke-tcp-out/data.gob
+	smoke-tcp-out/mpirun -n 4 -- smoke-tcp-out/train -data smoke-tcp-out/data.gob \
+		-ranks 4 -epochs 2 -strategy neighbor-pad -out smoke-tcp-out/ckpt
+	smoke-tcp-out/mpirun -n 4 -- smoke-tcp-out/infer -data smoke-tcp-out/data.gob \
+		-ckpt smoke-tcp-out/ckpt -steps 3 -exchange blocking
+	smoke-tcp-out/mpirun -n 4 -- smoke-tcp-out/infer -data smoke-tcp-out/data.gob \
+		-ckpt smoke-tcp-out/ckpt -steps 3 -exchange overlap
+	rm -rf smoke-tcp-out
+
+ci: build fmt vet test race bench-smoke smoke smoke-tcp

@@ -9,6 +9,16 @@
 // Usage:
 //
 //	infer -data data.gob -ckpt ckpt -steps 10
+//
+// -exchange overlap switches the halo exchange to the overlapped
+// schedule (interior convolution tiles compute while boundary strips
+// are in flight; frames are bit-identical to blocking). With
+// -transport tcp the process joins a multi-process mpi world (normally
+// via cmd/mpirun, which appends -rank and -peers); each process then
+// computes only its own rank's subdomain and the process hosting
+// rank 0 scores and prints the rollout:
+//
+//	mpirun -n 4 -- infer -data data.gob -ckpt ckpt -steps 10 -exchange overlap
 package main
 
 import (
@@ -18,6 +28,7 @@ import (
 	"log"
 	"os"
 	"os/signal"
+	"strings"
 
 	"repro/internal/core"
 	"repro/internal/dataset"
@@ -41,6 +52,11 @@ func main() {
 		network   = flag.String("network", "ethernet", "virtual network model: ethernet | infiniband | none")
 		workers   = flag.Int("workers", 1, "intra-layer parallelism of the convolution kernels (results are bit-identical for any value)")
 		backend   = flag.String("conv", "gemm", "convolution engine: gemm (im2col fast path) | naive (reference loops)")
+		exchange  = flag.String("exchange", "blocking", "halo exchange schedule: blocking | overlap (bit-identical frames)")
+		transport = flag.String("transport", "mem", "mpi transport: mem (in-process) | tcp (multi-process; see cmd/mpirun)")
+		tcpRank   = flag.Int("rank", 0, "this process's rank in the tcp world")
+		worldSize = flag.Int("world-size", 0, "expected tcp world size (0 = len(peers); checked against -peers)")
+		peersFlag = flag.String("peers", "", "comma-separated host:port of every rank, in rank order (tcp transport)")
 	)
 	flag.Parse()
 
@@ -102,14 +118,48 @@ func main() {
 		log.Fatalf("start snapshot %d too early for temporal window %d", start, window)
 	}
 
+	mode, err := core.ParseExchangeMode(*exchange)
+	if err != nil {
+		log.Fatal(err)
+	}
+
 	// The serving path: an immutable engine over the ensemble, one
 	// streaming session for this rollout. The per-session knobs never
 	// touch the shared models, so any number of infer processes'
 	// worth of sessions could share one engine.
-	eng, err := core.NewEngine(e,
+	engOpts := []core.EngineOption{
 		core.WithWorkers(*workers),
 		core.WithNetModel(nm),
-		core.WithConvBackend(convBackend))
+		core.WithConvBackend(convBackend),
+		core.WithExchangeMode(mode),
+	}
+	root := true // does this process host rank 0 (score + print)?
+	switch *transport {
+	case "mem":
+	case "tcp":
+		peers := strings.Split(*peersFlag, ",")
+		if *peersFlag == "" || len(peers) < 2 {
+			log.Fatal("-transport tcp needs -peers with at least two host:port entries (use cmd/mpirun)")
+		}
+		if *worldSize != 0 && *worldSize != len(peers) {
+			log.Fatalf("-world-size %d does not match %d peers", *worldSize, len(peers))
+		}
+		if len(peers) != e.Partition.Ranks() {
+			log.Fatalf("tcp world of %d processes cannot host the checkpoint's %d ranks (one rank per process)",
+				len(peers), e.Partition.Ranks())
+		}
+		world, err := mpi.DialTCP(mpi.TCPConfig{Rank: *tcpRank, Peers: peers}, mpi.WithNetModel(nm))
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer world.Close()
+		root = *tcpRank == 0
+		fmt.Printf("joined tcp world as rank %d of %d (%s exchange)\n", *tcpRank, len(peers), mode)
+		engOpts = append(engOpts, core.WithWorld(world))
+	default:
+		log.Fatalf("unknown transport %q", *transport)
+	}
+	eng, err := core.NewEngine(e, engOpts...)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -124,6 +174,9 @@ func main() {
 		"step", "mape[%]", "mse", "linf", "r2", "halo-msgs")
 	var final *tensor.Tensor
 	err = ses.Run(ctx, *steps, func(k int, frame *tensor.Tensor) error {
+		if frame == nil {
+			return nil // a non-root process of a tcp world: compute only
+		}
 		m := stats.Compute(frame, nds.Snapshots[start+k+1])
 		_, halo := ses.LastStepStats()
 		tbl.Add(fmt.Sprint(k+1),
@@ -136,16 +189,18 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Print(tbl.String())
+	if root {
+		fmt.Print(tbl.String())
 
-	// Per-channel view of the final step (the Fig. 3 comparison).
-	per := stats.PerChannel(final, nds.Snapshots[start+*steps])
-	ctbl := stats.NewTable("final step per channel", "channel", "mape[%]", "mse", "r2")
-	for c, m := range per {
-		ctbl.Add(grid.ChannelNames[c], fmt.Sprintf("%.3f", m.MAPE),
-			fmt.Sprintf("%.3e", m.MSE), fmt.Sprintf("%.4f", m.R2))
+		// Per-channel view of the final step (the Fig. 3 comparison).
+		per := stats.PerChannel(final, nds.Snapshots[start+*steps])
+		ctbl := stats.NewTable("final step per channel", "channel", "mape[%]", "mse", "r2")
+		for c, m := range per {
+			ctbl.Add(grid.ChannelNames[c], fmt.Sprintf("%.3f", m.MAPE),
+				fmt.Sprintf("%.3e", m.MSE), fmt.Sprintf("%.4f", m.R2))
+		}
+		fmt.Print(ctbl.String())
 	}
-	fmt.Print(ctbl.String())
 
 	comm, halo := ses.CommStats(), ses.HaloCommStats()
 	fmt.Printf("communication: %d msgs / %.2f KB total, halo share: %d msgs / %.2f KB",

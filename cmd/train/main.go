@@ -9,6 +9,14 @@
 //	train -data data.gob -ranks 4 -epochs 40 -out ckpt
 //	train -data data.gob -mode sequential -out ckpt
 //	train -data data.gob -mode dataparallel -ranks 4
+//
+// With -transport tcp the process joins a multi-process mpi world
+// (normally via cmd/mpirun, which appends -rank and -peers): each
+// process then trains only its own rank's subdomain network and writes
+// only that checkpoint, so the same binary runs the Fig. 4 scaling
+// study as N real OS processes:
+//
+//	mpirun -n 4 -- train -data data.gob -ranks 4 -out ckpt
 package main
 
 import (
@@ -19,6 +27,7 @@ import (
 	"os"
 	"os/signal"
 	"path/filepath"
+	"strings"
 
 	"repro/internal/core"
 	"repro/internal/dataset"
@@ -51,6 +60,10 @@ func main() {
 		workers    = flag.Int("workers", 1, "intra-layer parallelism of the convolution kernels (results are bit-identical for any value)")
 		backend    = flag.String("conv", "gemm", "convolution engine: gemm (im2col fast path) | naive (reference loops)")
 		progress   = flag.Bool("progress", false, "print per-rank per-epoch training losses as they happen")
+		transport  = flag.String("transport", "mem", "mpi transport: mem (in-process) | tcp (multi-process; see cmd/mpirun)")
+		tcpRank    = flag.Int("rank", 0, "this process's rank in the tcp world")
+		worldSize  = flag.Int("world-size", 0, "expected tcp world size (0 = len(peers); checked against -peers)")
+		peersFlag  = flag.String("peers", "", "comma-separated host:port of every rank, in rank order (tcp transport)")
 	)
 	flag.Parse()
 
@@ -109,6 +122,37 @@ func main() {
 		}))
 	}
 
+	// Multi-process world: join as one rank over TCP; the trainer then
+	// trains only this process's ranks.
+	var world *mpi.World
+	switch *transport {
+	case "mem":
+	case "tcp":
+		if *mode == "sequential" {
+			log.Fatal("sequential mode is single-process; use -transport mem")
+		}
+		peers := strings.Split(*peersFlag, ",")
+		if *peersFlag == "" || len(peers) < 2 {
+			log.Fatal("-transport tcp needs -peers with at least two host:port entries (use cmd/mpirun)")
+		}
+		if *worldSize != 0 && *worldSize != len(peers) {
+			log.Fatalf("-world-size %d does not match %d peers", *worldSize, len(peers))
+		}
+		if len(peers) != *ranks {
+			log.Fatalf("tcp world of %d processes cannot host %d ranks (one rank per process)", len(peers), *ranks)
+		}
+		var err error
+		world, err = mpi.DialTCP(mpi.TCPConfig{Rank: *tcpRank, Peers: peers})
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer world.Close()
+		fmt.Printf("joined tcp world as rank %d of %d\n", *tcpRank, len(peers))
+		opts = append(opts, core.WithTrainerWorld(world))
+	default:
+		log.Fatalf("unknown transport %q", *transport)
+	}
+
 	switch *mode {
 	case "parallel":
 		px, py := mpi.BalancedDims(*ranks)
@@ -129,13 +173,23 @@ func main() {
 		}
 		res := rep.Parallel
 		tbl := stats.NewTable("per-rank results", "rank", "block", "final-loss", "seconds")
+		trained := 0
 		for _, rr := range res.Ranks {
+			if rr.Model == nil {
+				continue // a remote process's rank (tcp world)
+			}
+			trained++
 			tbl.Add(fmt.Sprint(rr.Rank), rr.Block.String(),
 				fmt.Sprintf("%.4g", rr.FinalLoss()), fmt.Sprintf("%.3f", rr.Seconds))
 		}
 		fmt.Print(tbl.String())
-		fmt.Printf("critical path %.3fs, total compute %.3fs, speedup %.2fx, training comm: %d msgs\n",
-			res.CriticalPathSeconds, res.TotalComputeSeconds, res.Speedup(), res.TrainCommStats.MessagesSent)
+		if world != nil {
+			fmt.Printf("trained %d local rank(s) in %.3fs, training comm: %d msgs\n",
+				trained, res.CriticalPathSeconds, res.TrainCommStats.MessagesSent)
+		} else {
+			fmt.Printf("critical path %.3fs, total compute %.3fs, speedup %.2fx, training comm: %d msgs\n",
+				res.CriticalPathSeconds, res.TotalComputeSeconds, res.Speedup(), res.TrainCommStats.MessagesSent)
+		}
 		if err := saveEnsemble(res, *outDir); err != nil {
 			log.Fatal(err)
 		}
@@ -175,7 +229,9 @@ func main() {
 			log.Fatal(err)
 		}
 		res := rep.DataParallel
-		fmt.Printf("final loss %.4g in %.3fs wall\n", res.FinalLoss(), res.WallSeconds)
+		if res.Model != nil { // the process hosting rank 0 (or any in-process run)
+			fmt.Printf("final loss %.4g in %.3fs wall\n", res.FinalLoss(), res.WallSeconds)
+		}
 		fmt.Printf("training communication: %d msgs, %.2f MB (the paper's scheme uses none)\n",
 			res.CommStats.MessagesSent, float64(res.CommStats.BytesSent)/1e6)
 
@@ -184,13 +240,18 @@ func main() {
 	}
 }
 
-// saveEnsemble writes one checkpoint per rank plus nothing else; the
-// checkpoints carry the partition metadata inference needs.
+// saveEnsemble writes one checkpoint per locally trained rank plus
+// nothing else; the checkpoints carry the partition metadata inference
+// needs. In a multi-process job each process contributes its own
+// rank's file to the shared directory.
 func saveEnsemble(res *core.ParallelResult, dir string) error {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return err
 	}
 	for _, rr := range res.Ranks {
+		if rr.Model == nil {
+			continue // trained by another process
+		}
 		ck := model.Snapshot(res.Config.Model, rr.Model)
 		ck.Rank = rr.Rank
 		ck.Px, ck.Py = res.Partition.Px, res.Partition.Py

@@ -12,20 +12,38 @@
 // serving — any number of streaming rollout Sessions and one-shot
 // Predict calls run at once over weight-sharing model clones
 // (nn.Sequential.CloneShared), each cancellable mid-flight and O(1) in
-// memory regardless of rollout depth. Every substrate the scheme
-// needs is implemented in this module:
+// memory regardless of rollout depth.
+//
+// The message-passing runtime is transport-agnostic (DESIGN.md §8):
+// the same World/Comm semantics (non-overtaking tagged p2p,
+// collectives, Cartesian topology, CommStats + virtual network-cost
+// accounting) run over in-process channels (mpi.NewWorld) or over
+// length-prefixed TCP framing between independently launched
+// processes (mpi.DialTCP; cmd/mpirun is the local rank launcher), so
+// ranks can genuinely live in separate OS processes — cmd/train and
+// cmd/infer take -transport tcp. Halo-exchange inference runs either
+// blocking or as an overlapped pipeline (core.WithExchangeMode):
+// non-blocking Isend/Irecv of the halo strips with the interior
+// convolution tiles (nn.HaloSplit) computed while boundaries are in
+// flight. Rollout frames are bit-identical across
+// {mem, tcp} x {blocking, overlap}. Every substrate the scheme needs
+// is implemented in this module:
 //
 //   - internal/tensor — dense float64 N-d tensors and the GEMM +
 //     im2col convolution engine (blocked panel kernels with AVX2/
 //     AVX-512 FMA assembly on amd64 and a portable fallback)
 //   - internal/nn     — CNN layers with hand-derived backprop, a
 //     fast-path/slow-path engine switch (DESIGN.md §3, pinnable
-//     per-network for serving), reusable scratch arenas, and
-//     weight-sharing clones for concurrent inference
+//     per-network for serving), reusable scratch arenas,
+//     weight-sharing clones for concurrent inference, and the
+//     interior/boundary halo tile split behind the overlapped
+//     exchange (DESIGN.md §8)
 //   - internal/opt    — SGD / momentum / RMSProp / ADAM (paper Eq. 3–6)
 //   - internal/loss   — MSE / MAE / MAPE (paper Eq. 7) / SMAPE / Huber
-//   - internal/mpi    — goroutine message-passing runtime with MPI
-//     semantics (p2p, collectives, Cartesian topology, network model)
+//   - internal/mpi    — message-passing runtime with MPI semantics
+//     (p2p, collectives, Cartesian topology, network model) over
+//     pluggable transports: in-process channels or TCP sockets
+//     (DESIGN.md §8)
 //   - internal/grid, internal/euler — the linearized Euler solver
 //     standing in for Ateles (paper Eq. 8, §IV-A)
 //   - internal/decomp — the Fig. 2 domain decomposition

@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/model"
 	"repro/internal/mpi"
@@ -19,13 +20,22 @@ import (
 // number of sessions can therefore roll out concurrently over one
 // Engine — the serving property the paper's cheap per-subdomain
 // inference (§III) is meant to enable.
+//
+// By default each session communicates over its own in-process mpi
+// world. WithWorld instead binds the engine to an externally built
+// world — in particular a TCP world from mpi.DialTCP, which turns a
+// session into one rank of a multi-process rollout (DESIGN.md §8).
 type Engine struct {
 	ens        *Ensemble
 	workers    int
 	workersSet bool // false = clones inherit the ensemble models' knob
 	netModel   *mpi.NetModel
 	backend    *nn.ConvBackend
-	pool       sync.Pool // of *rankModels
+	mode       ExchangeMode
+	world      *mpi.World
+	worldBusy  atomic.Bool  // a bound world serves one live session at a time
+	local      map[int]bool // non-nil on a distributed world: ranks this process hosts
+	pool       sync.Pool    // of *rankModels
 }
 
 // rankModels is one pooled set of per-rank inference clones.
@@ -49,7 +59,8 @@ func WithWorkers(n int) EngineOption {
 
 // WithNetModel attaches a virtual network-cost model: every session
 // message is charged latency + size/bandwidth virtual time in its
-// CommStats. A nil model is ignored.
+// CommStats. A nil model is ignored. On a world supplied via
+// WithWorld, the world's own NetModel governs instead.
 func WithNetModel(m *mpi.NetModel) EngineOption {
 	return func(e *Engine) { e.netModel = m }
 }
@@ -60,6 +71,28 @@ func WithNetModel(m *mpi.NetModel) EngineOption {
 // can coexist in one process.
 func WithConvBackend(b nn.ConvBackend) EngineOption {
 	return func(e *Engine) { e.backend = &b }
+}
+
+// WithExchangeMode selects the halo-exchange schedule for this
+// engine's sessions (default Blocking). Overlap hides wire time behind
+// interior compute; frames are bit-identical across modes (see
+// ExchangeMode).
+func WithExchangeMode(m ExchangeMode) EngineOption {
+	return func(e *Engine) { e.mode = m }
+}
+
+// WithWorld binds the engine's sessions to an existing mpi world
+// instead of a fresh in-process one per session. The world's size must
+// equal the partition's rank count. Because a session's messages would
+// interleave with another's on the same mailboxes, a bound world
+// serves ONE live session at a time (NewSession fails while one is
+// open); distinct engines may of course hold distinct worlds. With a
+// world from mpi.DialTCP this process computes only its local rank's
+// subdomain — every process of the job runs the same session calls,
+// and Step returns the gathered frame only where rank 0 lives (nil
+// elsewhere).
+func WithWorld(w *mpi.World) EngineOption {
+	return func(e *Engine) { e.world = w }
 }
 
 // NewEngine validates the ensemble and wraps it for serving. The
@@ -76,9 +109,27 @@ func NewEngine(e *Ensemble, opts ...EngineOption) (*Engine, error) {
 	if eng.workersSet && eng.workers < 0 {
 		return nil, fmt.Errorf("core: negative engine workers %d", eng.workers)
 	}
+	if eng.mode != Blocking && eng.mode != Overlap {
+		return nil, fmt.Errorf("core: invalid exchange mode %d", int(eng.mode))
+	}
+	if eng.world != nil && eng.world.Size() != e.Partition.Ranks() {
+		return nil, fmt.Errorf("core: engine world has %d ranks, partition needs %d",
+			eng.world.Size(), e.Partition.Ranks())
+	}
+	if eng.world != nil && eng.world.Distributed() {
+		// This process computes only its local rank(s): don't pay for
+		// the other N-1 ranks' model clones and pipeline state.
+		eng.local = make(map[int]bool)
+		for _, r := range eng.world.LocalRanks() {
+			eng.local[r] = true
+		}
+	}
 	eng.pool.New = func() any { return eng.newRankModels() }
 	return eng, nil
 }
+
+// hostsRank reports whether this process computes the given rank.
+func (eng *Engine) hostsRank(r int) bool { return eng.local == nil || eng.local[r] }
 
 // Ensemble returns the wrapped ensemble (treat as read-only).
 func (eng *Engine) Ensemble() *Ensemble { return eng.ens }
@@ -91,6 +142,9 @@ func (eng *Engine) Ensemble() *Ensemble { return eng.ens }
 func (eng *Engine) newRankModels() *rankModels {
 	rm := &rankModels{models: make([]*nn.Sequential, len(eng.ens.Models))}
 	for r, m := range eng.ens.Models {
+		if !eng.hostsRank(r) {
+			continue // a remote process's rank on a distributed world
+		}
 		c := m.CloneShared()
 		if eng.workersSet {
 			c.SetWorkers(eng.workers)
@@ -136,6 +190,9 @@ func (eng *Engine) Predict(ctx context.Context, states ...*tensor.Tensor) (*tens
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
+	if eng.local != nil {
+		return nil, fmt.Errorf("core: Predict evaluates every rank in-process; this engine's world hosts only rank(s) %v — build an engine without WithWorld for one-step prediction", eng.world.LocalRanks())
+	}
 	window, err := eng.validateStates(states)
 	if err != nil {
 		return nil, err
@@ -169,20 +226,38 @@ func (eng *Engine) Predict(ctx context.Context, states ...*tensor.Tensor) (*tens
 	return p.GatherCHW(parts), nil
 }
 
+// sessionRank is one rank's pipeline state within a Session: its tile
+// plan and, in Overlap mode, the phase-1 receives posted for the
+// newest frame.
+type sessionRank struct {
+	split      *nn.HaloSplit
+	reqW, reqE *mpi.Request
+	pending    bool // the newest history frame's halo ring is incomplete
+}
+
 // Session is one autoregressive rollout in progress: an incremental,
 // cancellable iterator over prediction steps. It holds O(1) frames of
 // state (the per-rank halo-extended histories), so a 10k-step rollout
 // costs the same memory as a 1-step one. A Session is not itself
 // goroutine-safe — one goroutine drives it — but any number of
-// Sessions over the same Engine may run concurrently.
+// Sessions over the same Engine may run concurrently (each on its own
+// world; a WithWorld engine serves one session at a time instead).
+//
+// On a distributed world, each process's session computes only its
+// local rank(s); Step returns the gathered frame on the process
+// hosting rank 0 and nil elsewhere.
 type Session struct {
 	eng      *Engine
 	rm       *rankModels
-	world    *mpi.World         // built once; each Step is one Run over it
+	world    *mpi.World         // one world for the whole session; each Step is one Run over it
+	ownWorld bool               // the session built (and will close) the world itself
 	hist     [][]*tensor.Tensor // per rank: extended frames, oldest first
+	rk       []sessionRank
+	mode     ExchangeMode
 	channels int
 	step     int
 	closed   bool
+	broken   bool // a Step failed; pending requests may never complete
 
 	stats     mpi.CommStats // cumulative over all steps
 	haloStats mpi.CommStats // cumulative halo-exchange share (rank 0)
@@ -210,26 +285,68 @@ func (eng *Engine) NewSession(ctx context.Context, initials ...*tensor.Tensor) (
 	// One SplitCHW per frame hands every rank its piece.
 	hist := make([][]*tensor.Tensor, p.Ranks())
 	for r := range hist {
-		hist[r] = make([]*tensor.Tensor, window)
+		if eng.hostsRank(r) {
+			hist[r] = make([]*tensor.Tensor, window)
+		}
 	}
 	for k := 0; k < window; k++ {
 		full := initials[len(initials)-window+k]
 		pieces := p.SplitCHW(full, halo)
 		for r := 0; r < p.Ranks(); r++ {
+			if !eng.hostsRank(r) {
+				continue
+			}
 			b := p.BlockOfRank(r)
 			hist[r][k] = pieces[r].Reshape(1, c, b.Height()+2*halo, b.Width()+2*halo)
 		}
 	}
 	// One message-passing world for the whole session; each Step is one
-	// Run over it, so per-step stats come for free (Run re-collects
-	// from fresh per-run endpoints) without rebuilding the mailboxes
-	// every step.
-	var opts []mpi.Option
-	if eng.netModel != nil {
-		opts = append(opts, mpi.WithNetModel(eng.netModel))
+	// Run over it, so per-step stats come for free (Run reports
+	// per-invocation deltas) without rebuilding the mailboxes every
+	// step. A WithWorld engine hands out its bound world instead —
+	// exclusively, since concurrent sessions would interleave their
+	// messages on it.
+	world := eng.world
+	ownWorld := world == nil
+	if ownWorld {
+		var opts []mpi.Option
+		if eng.netModel != nil {
+			opts = append(opts, mpi.WithNetModel(eng.netModel))
+		}
+		world = mpi.NewWorld(p.Ranks(), opts...)
+	} else if !eng.worldBusy.CompareAndSwap(false, true) {
+		return nil, fmt.Errorf("core: the engine's bound world already serves a live session")
 	}
-	world := mpi.NewWorld(p.Ranks(), opts...)
-	return &Session{eng: eng, rm: eng.acquire(), world: world, hist: hist, channels: c}, nil
+	s := &Session{
+		eng:      eng,
+		rm:       eng.acquire(),
+		world:    world,
+		ownWorld: ownWorld,
+		hist:     hist,
+		rk:       make([]sessionRank, p.Ranks()),
+		mode:     eng.mode,
+		channels: c,
+	}
+	// The interior/boundary tile plan per locally hosted rank (nil
+	// where the split does not apply — the session falls back to
+	// whole-frame forwards there, identically in both exchange modes).
+	for r := 0; r < p.Ranks(); r++ {
+		if !eng.hostsRank(r) {
+			continue
+		}
+		b := p.BlockOfRank(r)
+		s.rk[r].split = nn.NewHaloSplit(s.rm.models[r], b.Height(), b.Width(), halo)
+	}
+	return s, nil
+}
+
+// addStats accumulates src into dst.
+func addStats(dst *mpi.CommStats, src mpi.CommStats) {
+	dst.MessagesSent += src.MessagesSent
+	dst.BytesSent += src.BytesSent
+	dst.MessagesRecv += src.MessagesRecv
+	dst.BytesRecv += src.BytesRecv
+	dst.VirtualCommSeconds += src.VirtualCommSeconds
 }
 
 // subStats returns a - b componentwise.
@@ -243,22 +360,24 @@ func subStats(a, b mpi.CommStats) mpi.CommStats {
 	}
 }
 
-// addStats accumulates src into dst.
-func addStats(dst *mpi.CommStats, src mpi.CommStats) {
-	dst.MessagesSent += src.MessagesSent
-	dst.BytesSent += src.BytesSent
-	dst.MessagesRecv += src.MessagesRecv
-	dst.BytesRecv += src.BytesRecv
-	dst.VirtualCommSeconds += src.VirtualCommSeconds
-}
-
 // Step advances the rollout by one autoregressive step and returns the
-// predicted full-domain CHW state: every rank predicts its subdomain,
-// exchanges halo strips point-to-point where the model strategy needs
-// them (the scheme's only genuine communication), and the pieces are
-// gathered into one frame. Cancellation is checked before the step
-// starts; a cancelled context returns ctx.Err() without touching the
-// rollout state, so the session remains usable if the caller retries.
+// predicted full-domain CHW state: every rank predicts its subdomain
+// through the interior/boundary tile pipeline, exchanges halo strips
+// point-to-point where the model strategy needs them (the scheme's
+// only genuine communication), and the pieces are gathered into one
+// frame on rank 0 (nil is returned by processes not hosting rank 0 on
+// a distributed world).
+//
+// In Blocking mode the two-phase exchange runs synchronously after the
+// frame is produced. In Overlap mode the phase-1 (west/east) strips
+// are posted non-blocking and complete during the NEXT step's interior
+// tile compute; phase 2 overlaps the west/east boundary tiles. Both
+// modes execute the same tile kernels in the same order, so their
+// frames are bit-identical.
+//
+// Cancellation is checked before the step starts; a cancelled context
+// returns ctx.Err() without touching the rollout state, so the session
+// remains usable if the caller retries.
 func (s *Session) Step(ctx context.Context) (*tensor.Tensor, error) {
 	if s.closed {
 		return nil, fmt.Errorf("core: Step on closed session")
@@ -279,23 +398,95 @@ func (s *Session) Step(ctx context.Context) (*tensor.Tensor, error) {
 		r := comm.Rank()
 		cart := mpi.NewCart(comm, p.Px, p.Py, false)
 		b := p.BlockOfRank(r)
+		bh, bw := b.Height(), b.Width()
 		hist := s.hist[r]
 		net := s.rm.models[r]
-		in := hist[0]
-		if window > 1 {
-			in = tensor.ConcatChannels(hist...)
+		st := &s.rk[r]
+		// Tile inputs: a window of history frames cropped to the same
+		// region of the extended coordinate frame, channel-stacked.
+		crop := func(y0, y1, x0, x1 int) *tensor.Tensor {
+			return tensor.SubImageConcat(y0, y1, x0, x1, hist...)
 		}
-		out := net.Forward(in)
-		if out.Dim(2) != b.Height() || out.Dim(3) != b.Width() {
+		fullForward := func() *tensor.Tensor {
+			in := hist[window-1]
+			if window > 1 {
+				in = tensor.ConcatChannels(hist...)
+			}
+			return net.Forward(in)
+		}
+		// trackHalo charges a communication segment to the session's
+		// halo share (rank 0's view, as before).
+		trackHalo := func(f func()) {
+			if r != 0 {
+				f()
+				return
+			}
+			before := comm.Stats()
+			f()
+			addStats(&haloDelta, subStats(comm.Stats(), before))
+		}
+
+		var out *tensor.Tensor
+		switch {
+		case halo == 0:
+			// Zero-pad / transpose-conv strategies: no halo, no
+			// exchange, whole-frame forward.
+			out = fullForward()
+		case st.pending:
+			// Overlap mode, steady state: the newest frame's phase-1
+			// strips are in flight from the previous step. Compute the
+			// interior tile (which needs no halo data) while they
+			// travel, then complete the phases with boundary tiles in
+			// between.
+			ext := hist[window-1]
+			var interior *tensor.Tensor
+			if st.split != nil {
+				interior = st.split.Interior(crop)
+			}
+			var reqS, reqN *mpi.Request
+			trackHalo(func() {
+				waitHaloPhase1(ext, halo, st.reqW, st.reqE)
+				reqS, reqN = postHaloPhase2(cart, ext, halo)
+			})
+			st.reqW, st.reqE = nil, nil
+			var west, east *tensor.Tensor
+			if st.split != nil {
+				west, east = st.split.WestEast(crop)
+			}
+			trackHalo(func() { waitHaloPhase2(ext, halo, reqS, reqN) })
+			st.pending = false
+			if st.split != nil {
+				south, north := st.split.SouthNorth(crop)
+				out = st.split.Finish(st.split.Assemble(interior, west, east, south, north))
+			} else {
+				out = fullForward()
+			}
+		default:
+			// Complete halo ring (Blocking mode always; Overlap's first
+			// step, whose halos came from slicing the initial states).
+			// Same tile kernels in the same order as the overlapped
+			// path, so the frames cannot diverge between modes.
+			if st.split != nil {
+				out = st.split.ForwardComplete(crop)
+			} else {
+				out = fullForward()
+			}
+		}
+		if out.Dim(2) != bh || out.Dim(3) != bw {
 			panic(fmt.Sprintf("core: rank %d produced %v for block %v", r, out.Shape(), b))
 		}
+
 		// Extend the new frame with neighbour halos for the next step.
 		next := out
 		if halo > 0 {
-			before := comm.Stats()
-			next = exchangeHalo(cart, out, halo)
-			if r == 0 {
-				haloDelta = subStats(comm.Stats(), before)
+			if s.mode == Overlap {
+				// Post phase 1 now; it completes during the next step's
+				// interior compute (and overlaps this step's gather).
+				next = newExtendedFrame(out, halo)
+				trackHalo(func() { st.reqW, st.reqE = postHaloPhase1(cart, out, halo) })
+				st.pending = true
+			} else {
+				trackHalo(func() { next = exchangeHalo(cart, out, halo) })
 			}
 		}
 		s.hist[r] = append(hist[1:], next)
@@ -311,6 +502,7 @@ func (s *Session) Step(ctx context.Context) (*tensor.Tensor, error) {
 		}
 	})
 	if err != nil {
+		s.broken = true
 		return nil, err
 	}
 	s.lastStats = world.TotalStats()
@@ -322,11 +514,12 @@ func (s *Session) Step(ctx context.Context) (*tensor.Tensor, error) {
 }
 
 // Run drives the session `steps` steps, handing each predicted frame
-// to fn as it is produced (fn may be nil to discard frames). Frames
-// are NOT retained by the session, so memory stays O(1) in steps —
-// stream them to disk, metrics, or a network socket from fn. Run stops
-// early and returns the error if the context is cancelled (within one
-// step) or fn returns non-nil.
+// to fn as it is produced (fn may be nil to discard frames; on a
+// distributed world, processes not hosting rank 0 receive nil frames).
+// Frames are NOT retained by the session, so memory stays O(1) in
+// steps — stream them to disk, metrics, or a network socket from fn.
+// Run stops early and returns the error if the context is cancelled
+// (within one step) or fn returns non-nil.
 func (s *Session) Run(ctx context.Context, steps int, fn func(k int, frame *tensor.Tensor) error) error {
 	if steps <= 0 {
 		return fmt.Errorf("core: non-positive rollout steps %d", steps)
@@ -349,7 +542,11 @@ func (s *Session) Run(ctx context.Context, steps int, fn func(k int, frame *tens
 func (s *Session) Steps() int { return s.step }
 
 // CommStats returns the cumulative communication cost of all steps so
-// far (halo exchanges plus result gathers).
+// far (halo exchanges plus result gathers). In Overlap mode the final
+// frame's phase-2 exchange never happens and its phase-1 receives
+// complete only when Close drains them, so a closed Overlap session
+// reports slightly fewer messages than a Blocking one (DESIGN.md §8);
+// across transports the numbers are identical for identical schedules.
 func (s *Session) CommStats() mpi.CommStats { return s.stats }
 
 // HaloCommStats returns the cumulative halo-exchange share of the
@@ -363,13 +560,43 @@ func (s *Session) LastStepStats() (comm, halo mpi.CommStats) {
 	return s.lastStats, s.lastHalo
 }
 
-// Close releases the session's model clones back to the engine's pool.
-// Closing twice is a no-op; using the session after Close is an error.
+// Close releases the session's model clones back to the engine's pool
+// and, in Overlap mode, drains the still-pending phase-1 receives of
+// the final frame — so a bound world is left without stray messages
+// and can serve the next session. Closing twice is a no-op; using the
+// session after Close is an error.
 func (s *Session) Close() error {
 	if s.closed {
 		return nil
 	}
 	s.closed = true
+	if s.mode == Overlap && !s.broken {
+		drained := s.world.Run(func(comm *mpi.Comm) {
+			st := &s.rk[comm.Rank()]
+			if st.reqW != nil {
+				st.reqW.Wait()
+				st.reqW = nil
+			}
+			if st.reqE != nil {
+				st.reqE.Wait()
+				st.reqE = nil
+			}
+			st.pending = false
+		})
+		if drained == nil {
+			addStats(&s.stats, s.world.TotalStats())
+		}
+	}
+	if s.ownWorld {
+		s.world.Close()
+	} else if !s.broken {
+		s.eng.worldBusy.Store(false)
+	}
+	// A broken session leaves its bound world permanently busy: a rank
+	// failed mid-step, so peers' halo/gather messages may still be
+	// queued and a new session's receives would silently match them
+	// (identical tags and strip sizes). Fail-stop — build a fresh
+	// world — rather than serve stale data.
 	s.eng.release(s.rm)
 	s.rm = nil
 	s.hist = nil

@@ -1,0 +1,47 @@
+package core
+
+import "fmt"
+
+// ExchangeMode selects how a Session moves halo strips between
+// subdomain ranks during a rollout step (DESIGN.md §8).
+type ExchangeMode int
+
+const (
+	// Blocking performs the two-phase halo exchange synchronously
+	// after each predicted frame, then computes the next step — the
+	// straightforward schedule.
+	Blocking ExchangeMode = iota
+	// Overlap posts the phase-1 (west/east) exchange non-blocking as
+	// soon as a frame is produced and overlaps the wire time with
+	// compute: the result gather of the current step, then the next
+	// step's interior convolution tiles; phase 2 (south/north) is
+	// posted mid-pipeline and overlapped with the west/east boundary
+	// tiles. Frames are bit-identical to Blocking — both modes run the
+	// same interior/boundary tile split (nn.HaloSplit) — only the
+	// schedule differs. The trailing phase-2 exchange of the final
+	// frame is never performed (nothing consumes it), so per-session
+	// message counts are slightly lower than Blocking's.
+	Overlap
+)
+
+// String implements fmt.Stringer.
+func (m ExchangeMode) String() string {
+	switch m {
+	case Blocking:
+		return "blocking"
+	case Overlap:
+		return "overlap"
+	}
+	return fmt.Sprintf("ExchangeMode(%d)", int(m))
+}
+
+// ParseExchangeMode converts a CLI string to an ExchangeMode.
+func ParseExchangeMode(s string) (ExchangeMode, error) {
+	switch s {
+	case "", "blocking":
+		return Blocking, nil
+	case "overlap":
+		return Overlap, nil
+	}
+	return 0, fmt.Errorf("core: unknown exchange mode %q (want blocking|overlap)", s)
+}

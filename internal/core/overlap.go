@@ -1,0 +1,136 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/mpi"
+	"repro/internal/tensor"
+)
+
+// This file is the halo-exchange plumbing shared by both exchange
+// modes: the two-phase exchange decomposed into non-blocking post/wait
+// halves, so the blocking path runs post+wait back to back while the
+// overlapped path interleaves compute between them (DESIGN.md §8).
+// Both paths issue the identical message sequence per phase — same
+// strips, same tags, same order — which keeps traffic accounting
+// comparable and the halo contents (and therefore frames) identical.
+
+// haloTagBase separates rollout halo tags from other user tags (the
+// result gather uses the mpi package's internal collective tags).
+const haloTagBase = 300
+
+// postHaloPhase1 sends the west/east strips of a freshly produced
+// local frame [1,C,h,w] to the corresponding neighbours and posts the
+// matching receives. Requests are nil where there is no neighbour.
+func postHaloPhase1(cart *mpi.Cart, local *tensor.Tensor, halo int) (reqW, reqE *mpi.Request) {
+	comm := cart.Comm()
+	h, w := local.Dim(2), local.Dim(3)
+	if nb := cart.Neighbor(mpi.West); nb != mpi.NoNeighbor {
+		comm.Isend(nb, haloTagBase+int(mpi.West), tensor.SubImage(local, 0, h, 0, halo).Data())
+	}
+	if nb := cart.Neighbor(mpi.East); nb != mpi.NoNeighbor {
+		comm.Isend(nb, haloTagBase+int(mpi.East), tensor.SubImage(local, 0, h, w-halo, w).Data())
+	}
+	// The neighbour sent toward us using the opposite direction's tag.
+	if nb := cart.Neighbor(mpi.West); nb != mpi.NoNeighbor {
+		reqW = comm.Irecv(nb, haloTagBase+int(mpi.East))
+	}
+	if nb := cart.Neighbor(mpi.East); nb != mpi.NoNeighbor {
+		reqE = comm.Irecv(nb, haloTagBase+int(mpi.West))
+	}
+	return reqW, reqE
+}
+
+// waitHaloPhase1 completes the phase-1 receives and writes the west
+// and east halo columns into the extended frame
+// ext [1,C,h+2·halo,w+2·halo] (whose centre already holds the local
+// frame). Boundary sides without a neighbour stay zero, matching the
+// zero padding used for physical boundaries during training.
+func waitHaloPhase1(ext *tensor.Tensor, halo int, reqW, reqE *mpi.Request) {
+	c := ext.Dim(1)
+	h, w := ext.Dim(2)-2*halo, ext.Dim(3)-2*halo
+	if reqW != nil {
+		data := reqW.Wait()
+		if len(data) != c*h*halo {
+			panic(fmt.Sprintf("core: west halo message has %d values, want %d", len(data), c*h*halo))
+		}
+		tensor.SetSubImage(ext, tensor.FromSlice(data, 1, c, h, halo), halo, 0)
+	}
+	if reqE != nil {
+		data := reqE.Wait()
+		if len(data) != c*h*halo {
+			panic(fmt.Sprintf("core: east halo message has %d values, want %d", len(data), c*h*halo))
+		}
+		tensor.SetSubImage(ext, tensor.FromSlice(data, 1, c, h, halo), halo, w+halo)
+	}
+}
+
+// postHaloPhase2 sends the south/north strips of the partially
+// extended frame — full extended width, so the west/east halo columns
+// received in phase 1 propagate into the corners (the standard
+// structured-grid trick keeping communication fully point-to-point as
+// §III requires) — and posts the matching receives. waitHaloPhase1
+// must have completed first.
+func postHaloPhase2(cart *mpi.Cart, ext *tensor.Tensor, halo int) (reqS, reqN *mpi.Request) {
+	comm := cart.Comm()
+	h := ext.Dim(2) - 2*halo
+	wext := ext.Dim(3)
+	if nb := cart.Neighbor(mpi.South); nb != mpi.NoNeighbor {
+		comm.Isend(nb, haloTagBase+int(mpi.South), tensor.SubImage(ext, halo, 2*halo, 0, wext).Data())
+	}
+	if nb := cart.Neighbor(mpi.North); nb != mpi.NoNeighbor {
+		comm.Isend(nb, haloTagBase+int(mpi.North), tensor.SubImage(ext, h, h+halo, 0, wext).Data())
+	}
+	if nb := cart.Neighbor(mpi.South); nb != mpi.NoNeighbor {
+		reqS = comm.Irecv(nb, haloTagBase+int(mpi.North))
+	}
+	if nb := cart.Neighbor(mpi.North); nb != mpi.NoNeighbor {
+		reqN = comm.Irecv(nb, haloTagBase+int(mpi.South))
+	}
+	return reqS, reqN
+}
+
+// waitHaloPhase2 completes the phase-2 receives and writes the south
+// and north halo rows (full extended width, corners included) into
+// ext.
+func waitHaloPhase2(ext *tensor.Tensor, halo int, reqS, reqN *mpi.Request) {
+	c := ext.Dim(1)
+	h, wext := ext.Dim(2)-2*halo, ext.Dim(3)
+	if reqS != nil {
+		data := reqS.Wait()
+		if len(data) != c*halo*wext {
+			panic(fmt.Sprintf("core: south halo message has %d values, want %d", len(data), c*halo*wext))
+		}
+		tensor.SetSubImage(ext, tensor.FromSlice(data, 1, c, halo, wext), 0, 0)
+	}
+	if reqN != nil {
+		data := reqN.Wait()
+		if len(data) != c*halo*wext {
+			panic(fmt.Sprintf("core: north halo message has %d values, want %d", len(data), c*halo*wext))
+		}
+		tensor.SetSubImage(ext, tensor.FromSlice(data, 1, c, halo, wext), h+halo, 0)
+	}
+}
+
+// newExtendedFrame allocates the halo-extended buffer for a local
+// frame and copies the frame into its centre; the halo ring starts
+// zeroed.
+func newExtendedFrame(local *tensor.Tensor, halo int) *tensor.Tensor {
+	c, h, w := local.Dim(1), local.Dim(2), local.Dim(3)
+	ext := tensor.New(1, c, h+2*halo, w+2*halo)
+	tensor.SetSubImage(ext, local, halo, halo)
+	return ext
+}
+
+// exchangeHalo performs the complete two-phase halo exchange
+// synchronously, filling an extended frame around local [1,C,h,w] —
+// the Blocking-mode schedule. It is post/wait of each phase back to
+// back, so the messages are identical to the overlapped schedule's.
+func exchangeHalo(cart *mpi.Cart, local *tensor.Tensor, halo int) *tensor.Tensor {
+	ext := newExtendedFrame(local, halo)
+	reqW, reqE := postHaloPhase1(cart, local, halo)
+	waitHaloPhase1(ext, halo, reqW, reqE)
+	reqS, reqN := postHaloPhase2(cart, ext, halo)
+	waitHaloPhase2(ext, halo, reqS, reqN)
+	return ext
+}

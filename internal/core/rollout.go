@@ -77,67 +77,6 @@ type RolloutResult struct {
 	HaloCommStats mpi.CommStats
 }
 
-// haloTagBase separates rollout halo tags from other user tags.
-const haloTagBase = 300
-
-// exchangeHalo performs the two-phase halo exchange filling an
-// extended frame [1,C,h+2·halo,w+2·halo] around local [1,C,h,w]:
-// first west/east strips of the interior, then south/north strips of
-// the already-extended frame (which propagates corner data through the
-// cardinal neighbours — the standard structured-grid trick, keeping
-// communication fully point-to-point as §III requires). Boundary sides
-// without a neighbour stay zero, matching the zero padding used for
-// physical boundaries during training.
-func exchangeHalo(cart *mpi.Cart, local *tensor.Tensor, halo int) *tensor.Tensor {
-	c, h, w := local.Dim(1), local.Dim(2), local.Dim(3)
-	ext := tensor.New(1, c, h+2*halo, w+2*halo)
-	tensor.SetSubImage(ext, local, halo, halo)
-	comm := cart.Comm()
-
-	send := func(d mpi.Direction, strip *tensor.Tensor) {
-		if nb := cart.Neighbor(d); nb != mpi.NoNeighbor {
-			comm.Send(nb, haloTagBase+int(d), strip.Data())
-		}
-	}
-	recv := func(d mpi.Direction, rows, cols int) *tensor.Tensor {
-		nb := cart.Neighbor(d)
-		if nb == mpi.NoNeighbor {
-			return nil
-		}
-		data := comm.Recv(nb, haloTagBase+int(d.Opposite()))
-		if len(data) != c*rows*cols {
-			panic(fmt.Sprintf("core: halo message from %v has %d values, want %d", d, len(data), c*rows*cols))
-		}
-		return tensor.FromSlice(data, 1, c, rows, cols)
-	}
-
-	// Phase 1: west/east strips of the interior (h × halo).
-	send(mpi.West, tensor.SubImage(local, 0, h, 0, halo))
-	send(mpi.East, tensor.SubImage(local, 0, h, w-halo, w))
-	if s := recv(mpi.West, h, halo); s != nil {
-		tensor.SetSubImage(ext, s, halo, 0)
-	}
-	if s := recv(mpi.East, h, halo); s != nil {
-		tensor.SetSubImage(ext, s, halo, w+halo)
-	}
-
-	// Phase 2: south/north strips of the extended frame (halo × full
-	// width), carrying the phase-1 halos into the corners.
-	wext := w + 2*halo
-	send(mpi.South, tensor.SubImage(ext, halo, 2*halo, 0, wext))
-	send(mpi.North, tensor.SubImage(ext, h, h+halo, 0, wext))
-	if s := recv(mpi.South, halo, wext); s != nil {
-		tensor.SetSubImage(ext, s, 0, 0)
-	}
-	if s := recv(mpi.North, halo, wext); s != nil {
-		tensor.SetSubImage(ext, s, h+halo, 0)
-	}
-	return ext
-}
-
-// gatherTag marks result-gather messages.
-const gatherTag = 299
-
 // Rollout runs `steps` of parallel autoregressive inference from the
 // full-domain CHW state `initial`: each rank repeatedly predicts its
 // own subdomain, exchanging halo data point-to-point before each step

@@ -41,6 +41,7 @@ type Trainer struct {
 	mode     ExecMode
 	dp       bool // selects the data-parallel baseline
 	dpRanks  int
+	world    *mpi.World // optional externally built world (WithTrainerWorld)
 	progress ProgressFunc
 	mu       sync.Mutex // serializes progress callbacks across ranks
 }
@@ -71,6 +72,25 @@ func WithProgress(fn ProgressFunc) TrainerOption {
 // scheme. Topology and exec-mode options are ignored in this mode.
 func WithDataParallel(ranks int) TrainerOption {
 	return func(t *Trainer) { t.dp, t.dpRanks = true, ranks }
+}
+
+// WithTrainerWorld runs the trainer's communicating ranks over an
+// externally built mpi world instead of a fresh in-process one — in
+// particular a TCP world from mpi.DialTCP, which makes training
+// genuinely multi-process: each process trains only the rank(s) its
+// world hosts. For the paper's scheme this implies Concurrent-style
+// execution (the rank function runs under World.Run regardless of the
+// exec mode), and per-rank results are populated only for local ranks
+// — so CriticalPathSeconds and TotalComputeSeconds cover this
+// process's share. For the data-parallel baseline the per-epoch
+// weight allreduce simply crosses process boundaries.
+//
+// With a cancellable context on a distributed world, the coordinated
+// per-epoch abort spans only this process's local ranks; killing the
+// remaining processes is the launcher's job (cmd/mpirun does so when
+// any rank exits non-zero).
+func WithTrainerWorld(w *mpi.World) TrainerOption {
+	return func(t *Trainer) { t.world = w }
 }
 
 // NewTrainer validates the configuration and builds a trainer.
@@ -164,34 +184,31 @@ func (t *Trainer) trainParallel(ctx context.Context, ds *dataset.Dataset) (*Para
 	window := cfg.Window()
 	ranks := p.Ranks()
 	res := &ParallelResult{Partition: p, Config: cfg, Ranks: make([]RankResult, ranks)}
+	for r := 0; r < ranks; r++ {
+		res.Ranks[r].Rank = r
+		res.Ranks[r].Block = p.BlockOfRank(r)
+	}
 
-	switch t.mode {
-	case CriticalPath:
-		for r := 0; r < ranks; r++ {
-			samples := dataset.WindowedSubdomainSamples(ds, p, r, halo, window)
-			ms, ss := rankSeeds(cfg, r)
-			var trainErr error
-			rr := &res.Ranks[r]
-			rr.Rank = r
-			rr.Block = p.BlockOfRank(r)
-			rank := r
-			rr.Seconds = measure(func() {
-				rr.Model, rr.History, trainErr = t.trainOne(ctx, samples, cfg, ms, ss, rank)
-			})
-			if trainErr != nil {
-				return nil, fmt.Errorf("core: rank %d: %w", r, trainErr)
-			}
+	switch {
+	case t.world != nil || t.mode == Concurrent:
+		// One goroutine per locally hosted rank under the mpi runtime —
+		// real concurrent execution, demonstrating that the scheme
+		// needs no synchronization. An external (possibly distributed)
+		// world trains only the ranks this process hosts; Model stays
+		// nil for remote ranks.
+		world := t.world
+		if world == nil {
+			world = mpi.NewWorld(ranks)
+		} else if world.Size() != ranks {
+			return nil, fmt.Errorf("core: trainer world has %d ranks, topology %dx%d needs %d",
+				world.Size(), t.px, t.py, ranks)
 		}
-	case Concurrent:
-		world := mpi.NewWorld(ranks)
 		errs := make([]error, ranks)
 		err := world.Run(func(c *mpi.Comm) {
 			r := c.Rank()
 			samples := dataset.WindowedSubdomainSamples(ds, p, r, halo, window)
 			ms, ss := rankSeeds(cfg, r)
 			rr := &res.Ranks[r]
-			rr.Rank = r
-			rr.Block = p.BlockOfRank(r)
 			rr.Seconds = measure(func() {
 				rr.Model, rr.History, errs[r] = t.trainOne(ctx, samples, cfg, ms, ss, r)
 			})
@@ -205,6 +222,20 @@ func (t *Trainer) trainParallel(ctx context.Context, ds *dataset.Dataset) (*Para
 			}
 		}
 		res.TrainCommStats = world.TotalStats()
+	case t.mode == CriticalPath:
+		for r := 0; r < ranks; r++ {
+			samples := dataset.WindowedSubdomainSamples(ds, p, r, halo, window)
+			ms, ss := rankSeeds(cfg, r)
+			var trainErr error
+			rr := &res.Ranks[r]
+			rank := r
+			rr.Seconds = measure(func() {
+				rr.Model, rr.History, trainErr = t.trainOne(ctx, samples, cfg, ms, ss, rank)
+			})
+			if trainErr != nil {
+				return nil, fmt.Errorf("core: rank %d: %w", r, trainErr)
+			}
+		}
 	default:
 		return nil, fmt.Errorf("core: invalid exec mode %d", int(t.mode))
 	}
@@ -314,22 +345,34 @@ func (t *Trainer) trainDataParallel(ctx context.Context, ds *dataset.Dataset) (*
 		return nil, fmt.Errorf("core: the data-parallel baseline supports only the zero-pad strategy (whole-domain replicas)")
 	}
 
-	world := mpi.NewWorld(ranks)
+	world := t.world
+	if world == nil {
+		world = mpi.NewWorld(ranks)
+	} else if world.Size() != ranks {
+		return nil, fmt.Errorf("core: trainer world has %d ranks, data-parallel baseline needs %d",
+			world.Size(), ranks)
+	}
+	local := world.LocalRanks()
+	coord := local[0] // lowest local rank coordinates this process's abort
 	res := &DataParallelResult{Ranks: ranks}
 	history := make([]float64, cfg.Epochs)
 	epochsDone := 0
 	models := make([]*nn.Sequential, ranks)
 	errs := make([]error, ranks)
 	cancellable := ctx.Done() != nil
-	var cancelErr error // written by rank 0 before the abort fan-out
-	// abortCh[r] carries rank 0's per-epoch continue/stop decision to
-	// replica r; cap 1 lets rank 0 run at most one epoch ahead of a
-	// slow receiver.
-	var abortCh []chan bool
+	var cancelErr error // written by the coordinator before the abort fan-out
+	// abortCh[r] carries the coordinator's per-epoch continue/stop
+	// decision to local replica r; cap 1 lets the coordinator run at
+	// most one epoch ahead of a slow receiver. On a distributed world
+	// the fan-out spans only this process's ranks (see
+	// WithTrainerWorld).
+	var abortCh map[int]chan bool
 	if cancellable {
-		abortCh = make([]chan bool, ranks)
-		for i := 1; i < ranks; i++ {
-			abortCh[i] = make(chan bool, 1)
+		abortCh = make(map[int]chan bool, len(local))
+		for _, r := range local {
+			if r != coord {
+				abortCh[r] = make(chan bool, 1)
+			}
 		}
 	}
 
@@ -364,16 +407,17 @@ func (t *Trainer) trainDataParallel(ctx context.Context, ds *dataset.Dataset) (*
 			}
 			for epoch := 0; epoch < cfg.Epochs; epoch++ {
 				if cancellable {
-					// Coordinated abort: everyone follows rank 0's view
-					// so no replica is left alone in a collective.
+					// Coordinated abort: every local replica follows the
+					// coordinator's view so none is left alone in a
+					// collective.
 					stop := false
-					if r == 0 {
+					if r == coord {
 						if err := ctx.Err(); err != nil {
 							cancelErr = err
 							stop = true
 						}
-						for dst := 1; dst < ranks; dst++ {
-							abortCh[dst] <- stop
+						for _, ch := range abortCh {
+							ch <- stop
 						}
 					} else {
 						stop = <-abortCh[r]

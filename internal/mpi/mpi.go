@@ -1,27 +1,42 @@
 // Package mpi implements a small message-passing runtime with MPI-like
-// semantics on top of goroutines and channels. It is the communication
-// substrate for the parallel training and inference schemes in this
-// repository, standing in for the MPI library used by the paper.
+// semantics. It is the communication substrate for the parallel
+// training and inference schemes in this repository, standing in for
+// the MPI library used by the paper.
 //
-// A World holds a fixed number of ranks. World.Run launches one
-// goroutine per rank and hands each a *Comm, which supports tagged
-// blocking point-to-point messages (Send/Recv with AnySource/AnyTag
-// wildcards and MPI's non-overtaking guarantee per (source, tag) pair),
-// non-blocking variants (Isend/Irecv returning a Request), and the
-// usual collectives (Barrier, Bcast, Reduce, Allreduce, Gather,
-// Allgather, Scatter) implemented with binomial-tree and
-// recursive-doubling algorithms on top of the point-to-point layer —
-// the same structure a real MPI implementation uses.
+// A World holds a fixed number of ranks on top of a pluggable
+// Transport. World.Run executes a rank function for every rank the
+// transport hosts in this process and hands each a *Comm, which
+// supports tagged blocking point-to-point messages (Send/Recv with
+// AnySource/AnyTag wildcards and MPI's non-overtaking guarantee per
+// (source, tag) pair), non-blocking variants (Isend/Irecv returning a
+// Request), and the usual collectives (Barrier, Bcast, Reduce,
+// Allreduce, Gather, Allgather, Scatter) implemented with
+// binomial-tree and recursive-doubling algorithms on top of the
+// point-to-point layer — the same structure a real MPI implementation
+// uses.
 //
-// Because the transport is shared memory, real wire time is near zero;
-// an optional NetModel charges each message a configurable
-// latency + size/bandwidth virtual cost, accumulated per rank, so that
-// experiments can report communication costs representative of a
-// cluster interconnect (see DESIGN.md §5).
+// Two transports ship with the package (see DESIGN.md §8):
+//
+//   - NewWorld builds the in-process transport (goroutines and
+//     channels): every rank lives in this process and Run launches one
+//     goroutine per rank.
+//   - DialTCP joins this process, as one rank, to a world of
+//     independently launched processes over length-prefixed TCP
+//     framing; Run then executes the rank function once, for the local
+//     rank.
+//
+// Because the in-process transport is shared memory, real wire time is
+// near zero there; an optional NetModel charges each message a
+// configurable latency + size/bandwidth virtual cost, accumulated per
+// rank, so that experiments can report communication costs
+// representative of a cluster interconnect (see DESIGN.md §5). The
+// accounting lives above the transport, so CommStats are identical
+// across transports for the same traffic.
 package mpi
 
 import (
 	"fmt"
+	"sort"
 	"sync"
 )
 
@@ -44,19 +59,18 @@ const (
 	tagAllgath = 1<<30 + 7
 )
 
-type message struct {
-	from int
-	tag  int
-	data []float64
-}
-
-// World is a communicator universe: a fixed set of ranks with
-// per-rank mailboxes.
+// World is a communicator universe: a fixed set of ranks over one
+// Transport. Depending on the transport, this process may host every
+// rank (NewWorld) or a single one (DialTCP).
 type World struct {
-	size      int
-	mailboxes []chan message
-	model     *NetModel
-	stats     []CommStats
+	size       int
+	tr         Transport
+	model      *NetModel
+	stats      []CommStats
+	mailboxCap int
+
+	mu    sync.Mutex
+	comms map[int]*Comm // persistent per-rank endpoints, created lazily
 }
 
 // Option configures a World.
@@ -71,34 +85,46 @@ func WithNetModel(m *NetModel) Option {
 // WithMailboxCapacity overrides the per-rank mailbox buffer size
 // (default max(256, 4*size) messages). Send blocks when the
 // destination mailbox is full, mirroring MPI's rendezvous behaviour
-// for large backlogs.
+// for large backlogs. On the TCP transport the same capacity bounds
+// the per-peer outbound queue and the local inbox.
 func WithMailboxCapacity(n int) Option {
-	return func(w *World) {
-		for i := range w.mailboxes {
-			w.mailboxes[i] = make(chan message, n)
-		}
-	}
+	return func(w *World) { w.mailboxCap = n }
 }
 
-// NewWorld creates a World with the given number of ranks.
-func NewWorld(size int, opts ...Option) *World {
-	if size <= 0 {
-		panic(fmt.Sprintf("mpi: world size must be positive, got %d", size))
-	}
-	w := &World{
-		size:      size,
-		mailboxes: make([]chan message, size),
-		stats:     make([]CommStats, size),
-	}
+// defaultMailboxCapacity is the default per-rank buffering.
+func defaultMailboxCapacity(size int) int {
 	capacity := 4 * size
 	if capacity < 256 {
 		capacity = 256
 	}
-	for i := range w.mailboxes {
-		w.mailboxes[i] = make(chan message, capacity)
+	return capacity
+}
+
+// NewWorld creates a World of the given number of ranks over the
+// in-process channel transport (all ranks hosted by this process).
+func NewWorld(size int, opts ...Option) *World {
+	if size <= 0 {
+		panic(fmt.Sprintf("mpi: world size must be positive, got %d", size))
+	}
+	w := newWorldShell(size, opts...)
+	w.tr = newMemTransport(size, w.mailboxCap)
+	return w
+}
+
+// newWorldShell builds a World without a transport and applies the
+// options; the caller attaches the transport.
+func newWorldShell(size int, opts ...Option) *World {
+	w := &World{
+		size:       size,
+		stats:      make([]CommStats, size),
+		mailboxCap: defaultMailboxCapacity(size),
+		comms:      make(map[int]*Comm),
 	}
 	for _, o := range opts {
 		o(w)
+	}
+	if w.mailboxCap <= 0 {
+		panic(fmt.Sprintf("mpi: non-positive mailbox capacity %d", w.mailboxCap))
 	}
 	return w
 }
@@ -106,13 +132,36 @@ func NewWorld(size int, opts ...Option) *World {
 // Size returns the number of ranks in the world.
 func (w *World) Size() int { return w.size }
 
-// Stats returns a copy of the accumulated per-rank communication
-// statistics from the most recent Run.
+// LocalRanks returns the ranks hosted by this process, ascending: all
+// of them for an in-process world, exactly one for a TCP endpoint.
+func (w *World) LocalRanks() []int {
+	return append([]int(nil), w.tr.Local()...)
+}
+
+// Distributed reports whether some ranks of this world live in other
+// processes.
+func (w *World) Distributed() bool { return len(w.tr.Local()) != w.size }
+
+// Transport exposes the underlying transport (read-only use).
+func (w *World) Transport() Transport { return w.tr }
+
+// Close shuts the world's transport down: queued outbound messages are
+// flushed, then any blocked or future operation fails instead of
+// hanging — the drain half of the close/drain contract. Closing an
+// in-process world is optional (its transport holds no goroutines or
+// sockets); closing a TCP world releases its connections and
+// background readers/writers. Close is idempotent.
+func (w *World) Close() error { return w.tr.Close() }
+
+// Stats returns a copy of the per-rank communication statistics
+// gathered by the most recent Run (only locally hosted ranks have
+// entries on a distributed world).
 func (w *World) Stats() []CommStats {
 	return append([]CommStats(nil), w.stats...)
 }
 
-// TotalStats returns the sum of all per-rank statistics.
+// TotalStats returns the sum of all per-rank statistics from the most
+// recent Run.
 func (w *World) TotalStats() CommStats {
 	var t CommStats
 	for _, s := range w.stats {
@@ -125,6 +174,21 @@ func (w *World) TotalStats() CommStats {
 	return t
 }
 
+// comm returns the persistent endpoint for a rank, creating it on
+// first use. Endpoints persist across Run calls so that non-blocking
+// Requests posted in one Run can be completed in a later one (the
+// overlapped halo pipeline relies on this).
+func (w *World) comm(rank int) *Comm {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	c := w.comms[rank]
+	if c == nil {
+		c = &Comm{rank: rank, world: w}
+		w.comms[rank] = c
+	}
+	return c
+}
+
 // RankPanicError reports that a rank's function panicked during Run.
 type RankPanicError struct {
 	Rank  int
@@ -135,35 +199,40 @@ func (e *RankPanicError) Error() string {
 	return fmt.Sprintf("mpi: rank %d panicked: %v", e.Rank, e.Value)
 }
 
-// Run executes f once per rank, each in its own goroutine, and waits
-// for all of them. Per-rank communication statistics are gathered into
-// the World afterwards. If any rank panics, Run returns a
-// *RankPanicError for the lowest such rank (other ranks may then be
-// blocked forever in a real deadlock scenario; here they are abandoned
-// once all non-panicked ranks finish or the test harness times out —
-// callers should treat a returned error as fatal for the whole world).
+// Run executes f once per locally hosted rank, each in its own
+// goroutine, and waits for all of them. On an in-process world that is
+// every rank; on a TCP world it is the single rank this process joined
+// as. Per-rank communication statistics for the Run (deltas, not
+// lifetime totals) are gathered into the World afterwards. If any
+// local rank panics, Run returns a *RankPanicError for the lowest such
+// rank (other ranks may then be blocked forever in a real deadlock
+// scenario; here they are abandoned once all non-panicked ranks finish
+// or the test harness times out — callers should treat a returned
+// error as fatal for the whole world).
 func (w *World) Run(f func(c *Comm)) error {
+	local := append([]int(nil), w.tr.Local()...)
+	sort.Ints(local)
 	var wg sync.WaitGroup
-	errs := make([]*RankPanicError, w.size)
-	comms := make([]*Comm, w.size)
-	for r := 0; r < w.size; r++ {
-		comms[r] = &Comm{rank: r, world: w}
+	errs := make([]*RankPanicError, len(local))
+	before := make([]CommStats, len(local))
+	for i, r := range local {
+		before[i] = w.comm(r).stats
 	}
-	for r := 0; r < w.size; r++ {
+	for i, r := range local {
 		wg.Add(1)
-		go func(rank int) {
+		go func(i, rank int) {
 			defer wg.Done()
 			defer func() {
 				if v := recover(); v != nil {
-					errs[rank] = &RankPanicError{Rank: rank, Value: v}
+					errs[i] = &RankPanicError{Rank: rank, Value: v}
 				}
 			}()
-			f(comms[rank])
-		}(r)
+			f(w.comm(rank))
+		}(i, r)
 	}
 	wg.Wait()
-	for r, c := range comms {
-		w.stats[r] = c.stats
+	for i, r := range local {
+		w.stats[r] = statsDelta(w.comm(r).stats, before[i])
 	}
 	for _, e := range errs {
 		if e != nil {
@@ -173,12 +242,26 @@ func (w *World) Run(f func(c *Comm)) error {
 	return nil
 }
 
+// statsDelta returns a - b componentwise.
+func statsDelta(a, b CommStats) CommStats {
+	return CommStats{
+		MessagesSent:       a.MessagesSent - b.MessagesSent,
+		BytesSent:          a.BytesSent - b.BytesSent,
+		MessagesRecv:       a.MessagesRecv - b.MessagesRecv,
+		BytesRecv:          a.BytesRecv - b.BytesRecv,
+		VirtualCommSeconds: a.VirtualCommSeconds - b.VirtualCommSeconds,
+	}
+}
+
 // Comm is one rank's endpoint into the World. A Comm must only be used
-// from the goroutine Run created it for.
+// by one goroutine at a time — normally the goroutine Run is currently
+// executing for its rank. Endpoints persist across Run calls (with the
+// WaitGroup inside Run ordering the handoff), which is what lets a
+// Request posted during one Run be completed during the next.
 type Comm struct {
 	rank    int
 	world   *World
-	pending []message // received but not yet matched
+	pending []Message // received but not yet matched
 	stats   CommStats
 }
 
@@ -188,12 +271,16 @@ func (c *Comm) Rank() int { return c.rank }
 // Size returns the world size.
 func (c *Comm) Size() int { return c.world.size }
 
-// Stats returns the statistics accumulated so far by this rank.
+// Stats returns the statistics accumulated so far by this rank across
+// the world's lifetime (per-Run deltas are available from
+// World.Stats).
 func (c *Comm) Stats() CommStats { return c.stats }
 
 // Send delivers a copy of data to rank `to` with the given tag. It
-// blocks only if the destination mailbox is full. Sending to self is
-// allowed (the message is matched by a later Recv on the same rank).
+// blocks only if the destination's buffering is exhausted (mailbox on
+// the in-process transport, outbound queue + socket backpressure on
+// TCP). Sending to self is allowed (the message is matched by a later
+// Recv on the same rank).
 func (c *Comm) Send(to, tag int, data []float64) {
 	if to < 0 || to >= c.world.size {
 		panic(fmt.Sprintf("mpi: Send to invalid rank %d (size %d)", to, c.world.size))
@@ -206,7 +293,9 @@ func (c *Comm) Send(to, tag int, data []float64) {
 
 func (c *Comm) send(to, tag int, data []float64) {
 	buf := append([]float64(nil), data...)
-	c.world.mailboxes[to] <- message{from: c.rank, tag: tag, data: buf}
+	if err := c.world.tr.Send(c.rank, to, tag, buf); err != nil {
+		panic(fmt.Sprintf("mpi: rank %d send to %d (tag %d): %v", c.rank, to, tag, err))
+	}
 	c.stats.MessagesSent++
 	c.stats.BytesSent += int64(8 * len(buf))
 	if m := c.world.model; m != nil {
@@ -232,29 +321,32 @@ func (c *Comm) RecvStatus(from, tag int) (data []float64, actualFrom, actualTag 
 		if matches(m, from, tag) {
 			c.pending = append(c.pending[:i], c.pending[i+1:]...)
 			c.account(m)
-			return m.data, m.from, m.tag
+			return m.Data, m.From, m.Tag
 		}
 	}
 	for {
-		m := <-c.world.mailboxes[c.rank]
+		m, err := c.world.tr.Recv(c.rank)
+		if err != nil {
+			panic(fmt.Sprintf("mpi: rank %d recv (from %d, tag %d): %v", c.rank, from, tag, err))
+		}
 		if matches(m, from, tag) {
 			c.account(m)
-			return m.data, m.from, m.tag
+			return m.Data, m.From, m.Tag
 		}
 		c.pending = append(c.pending, m)
 	}
 }
 
-func (c *Comm) account(m message) {
+func (c *Comm) account(m Message) {
 	c.stats.MessagesRecv++
-	c.stats.BytesRecv += int64(8 * len(m.data))
+	c.stats.BytesRecv += int64(8 * len(m.Data))
 	if mod := c.world.model; mod != nil {
-		c.stats.VirtualCommSeconds += mod.Cost(8 * len(m.data))
+		c.stats.VirtualCommSeconds += mod.Cost(8 * len(m.Data))
 	}
 }
 
-func matches(m message, from, tag int) bool {
-	return (from == AnySource || m.from == from) && (tag == AnyTag || m.tag == tag)
+func matches(m Message, from, tag int) bool {
+	return (from == AnySource || m.From == from) && (tag == AnyTag || m.Tag == tag)
 }
 
 // Probe reports whether a message matching (from, tag) can be received
@@ -267,19 +359,23 @@ func (c *Comm) Probe(from, tag int) bool {
 		}
 	}
 	for {
-		select {
-		case m := <-c.world.mailboxes[c.rank]:
-			c.pending = append(c.pending, m)
-			if matches(m, from, tag) {
-				return true
-			}
-		default:
+		m, ok, err := c.world.tr.TryRecv(c.rank)
+		if err != nil || !ok {
 			return false
+		}
+		c.pending = append(c.pending, m)
+		if matches(m, from, tag) {
+			return true
 		}
 	}
 }
 
-// Request represents an in-flight non-blocking operation.
+// Request represents an in-flight non-blocking operation. A Request
+// holds no goroutine or OS resource of its own — receives match
+// lazily inside Wait, sends complete at post time against the
+// transport's buffering — so a Request abandoned without Wait leaks
+// nothing and never blocks World.Close (the regression tests assert
+// this with the race detector).
 type Request struct {
 	done bool
 	data []float64
@@ -287,7 +383,7 @@ type Request struct {
 }
 
 // Wait blocks until the operation completes and returns the received
-// payload (nil for sends).
+// payload (nil for sends). Waiting twice returns the same payload.
 func (r *Request) Wait() []float64 {
 	if !r.done {
 		r.data = r.wait()
@@ -296,9 +392,14 @@ func (r *Request) Wait() []float64 {
 	return r.data
 }
 
-// Isend starts a non-blocking send. Because sends are buffered, the
-// operation completes immediately; the Request exists for API symmetry
-// with MPI code.
+// Done reports whether the request has already completed (always true
+// for sends, true for receives after Wait).
+func (r *Request) Done() bool { return r.done }
+
+// Isend starts a non-blocking send. Sends complete against the
+// transport's buffering (mailbox or outbound queue), so the operation
+// finishes at post time; the Request exists for API symmetry with MPI
+// code.
 func (c *Comm) Isend(to, tag int, data []float64) *Request {
 	c.Send(to, tag, data)
 	return &Request{done: true}
@@ -306,7 +407,9 @@ func (c *Comm) Isend(to, tag int, data []float64) *Request {
 
 // Irecv starts a non-blocking receive. The matching and blocking work
 // happens when Wait is called; this mirrors the common MPI usage
-// pattern of posting receives first and waiting later.
+// pattern of posting receives first and waiting later. The overlapped
+// halo pipeline posts Irecvs in one Session step and waits for them in
+// the next, with interior compute in between.
 func (c *Comm) Irecv(from, tag int) *Request {
 	return &Request{wait: func() []float64 { return c.Recv(from, tag) }}
 }

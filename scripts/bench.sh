@@ -1,20 +1,22 @@
 #!/usr/bin/env bash
 # Regenerates BENCH_baseline.json: the committed perf-trajectory
 # snapshot of the convolution engine (GEMM fast path vs naive
-# reference), the per-layer Table-I costs, and the serving API's
+# reference), the per-layer Table-I costs, the serving API's
 # concurrent-session rollout throughput (1 vs 4 sessions over one
-# Engine; the steps_per_s metric). Run from anywhere:
+# Engine; the steps_per_s metric), and the halo-exchange schedule ×
+# transport matrix ({mem,tcp} × {blocking,overlap} rollout steps/s).
+# Run from anywhere:
 #
 #   scripts/bench.sh                # writes BENCH_baseline.json
 #   scripts/bench.sh out.json      # writes elsewhere
 #
-# BENCHTIME (default 10x) and BENCH (default the conv + session
-# benchmarks) override the sweep.
+# BENCHTIME (default 10x) and BENCH (default the conv + session +
+# halo-exchange benchmarks) override the sweep.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 OUT="${1:-BENCH_baseline.json}"
-BENCH="${BENCH:-ConvGEMMvsNaive|ConvGEMMWorkers|Table1_LayerForwardBackward|SessionConcurrentRollout}"
+BENCH="${BENCH:-ConvGEMMvsNaive|ConvGEMMWorkers|Table1_LayerForwardBackward|SessionConcurrentRollout|HaloOverlapVsBlocking}"
 BENCHTIME="${BENCHTIME:-10x}"
 
 RAW="$(mktemp)"
