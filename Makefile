@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test vet fmt race bench bench-smoke smoke smoke-tcp ci
+.PHONY: build test vet fmt race bench bench-smoke smoke smoke-tcp smoke-serve ci
 
 build:
 	$(GO) build ./...
@@ -67,4 +67,12 @@ smoke-tcp:
 		-ckpt smoke-tcp-out/ckpt -steps 3 -exchange overlap
 	rm -rf smoke-tcp-out
 
-ci: build fmt vet test race bench-smoke smoke smoke-tcp
+# HTTP serving smoke: datagen → train → start cmd/serve, then curl
+# /healthz, a 3-step streamed /v1/rollout and /v1/predict (sequential
+# and 8-way concurrent through the micro-batcher), asserting golden
+# bit-identity between the predict response and the rollout's next
+# frame, and a graceful SIGTERM drain (scripts/smoke_serve.sh).
+smoke-serve:
+	scripts/smoke_serve.sh
+
+ci: build fmt vet test race bench-smoke smoke smoke-tcp smoke-serve

@@ -12,8 +12,10 @@ package repro_test
 import (
 	"context"
 	"fmt"
+	"runtime"
 	"sync"
 	"testing"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/dataset"
@@ -742,6 +744,170 @@ func BenchmarkSessionConcurrentRollout(b *testing.B) {
 			if secs := b.Elapsed().Seconds(); secs > 0 {
 				b.ReportMetric(float64(sessions*depth*b.N)/secs, "steps_per_s")
 			}
+		})
+	}
+}
+
+// -----------------------------------------------------------------------------
+// Serving API — micro-batched request coalescing (DESIGN.md §9).
+// -----------------------------------------------------------------------------
+
+// servingEnsemble builds an untrained (but deterministic) ensemble for
+// throughput benchmarks: serving cost is independent of the weights,
+// so skipping training keeps the harness fast without changing what is
+// measured. It shares the construction recipe with the package
+// examples (untrainedEnsemble, example_test.go).
+func servingEnsemble(b *testing.B, n, px, py int) *core.Ensemble {
+	b.Helper()
+	ens, err := untrainedEnsemble(n, px, py)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return ens
+}
+
+// BenchmarkBatcherThroughput measures one-step serving throughput
+// (requests/s) on the Table-I architecture over the full 128×128 grid
+// at the paper's 8×8 decomposition, comparing the unbatched
+// Engine.Predict baseline (sequential, and 16 concurrent callers)
+// against the same 16 callers coalesced by a core.Batcher at
+// micro-batch caps 1/4/8/16. The batcher cells additionally report
+// speedup_vs_sequential (vs the one-caller Predict loop),
+// speedup_vs_unbatched (vs the 16 concurrent unbatched callers — the
+// apples-to-apples serving baseline, which pays one clone set per
+// in-flight request) and the mean achieved batch fill. Batched
+// and unbatched frames are bit-identical
+// (core.TestBatcherConcurrentBitIdentical); this benchmark measures
+// only what the coalescing buys in wall-clock. Single-core machines
+// mostly see the per-request fixed-overhead amortization (clone-set
+// acquisition, per-layer call overhead at small subdomains);
+// multi-core machines additionally get PredictBatch's rank fan-out,
+// which the per-request path cannot use. scripts/bench.sh snapshots
+// requests_per_s into BENCH_baseline.json.
+func BenchmarkBatcherThroughput(b *testing.B) {
+	const (
+		n           = 128
+		nStates     = 8
+		clients     = 16
+		reqsPerIter = 16
+	)
+	ens := servingEnsemble(b, n, 8, 8)
+	g := tensor.NewRNG(3)
+	states := make([]*tensor.Tensor, nStates)
+	for i := range states {
+		states[i] = tensor.Normal(g, 0, 1, grid.NumChannels, n, n)
+	}
+	workers := runtime.GOMAXPROCS(0)
+	newEng := func() *core.Engine {
+		eng, err := core.NewEngine(ens, core.WithWorkers(workers))
+		if err != nil {
+			b.Fatal(err)
+		}
+		return eng
+	}
+	ctx := context.Background()
+	reportRPS := func(b *testing.B, served int) float64 {
+		secs := b.Elapsed().Seconds()
+		if secs <= 0 {
+			return 0
+		}
+		rps := float64(served) / secs
+		b.ReportMetric(rps, "requests_per_s")
+		return rps
+	}
+
+	var seqRPS, concRPS float64
+	b.Run("unbatched/sequential", func(b *testing.B) {
+		eng := newEng()
+		if _, err := eng.Predict(ctx, states[0]); err != nil {
+			b.Fatal(err)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			for r := 0; r < reqsPerIter; r++ {
+				if _, err := eng.Predict(ctx, states[r%nStates]); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+		b.StopTimer()
+		seqRPS = reportRPS(b, reqsPerIter*b.N)
+	})
+	b.Run("unbatched/concurrent", func(b *testing.B) {
+		eng := newEng()
+		if _, err := eng.Predict(ctx, states[0]); err != nil {
+			b.Fatal(err)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			var wg sync.WaitGroup
+			errs := make([]error, clients)
+			for c := 0; c < clients; c++ {
+				wg.Add(1)
+				go func(c int) {
+					defer wg.Done()
+					_, errs[c] = eng.Predict(ctx, states[c%nStates])
+				}(c)
+			}
+			wg.Wait()
+			for _, err := range errs {
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+		b.StopTimer()
+		concRPS = reportRPS(b, clients*b.N)
+	})
+	for _, mb := range []int{1, 4, 8, 16} {
+		b.Run(fmt.Sprintf("batcher/max=%d", mb), func(b *testing.B) {
+			eng := newEng()
+			bat, err := core.NewBatcher(eng, core.WithMaxBatch(mb), core.WithMaxDelay(2*time.Millisecond))
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer bat.Close()
+			if _, err := bat.Predict(ctx, states[0]); err != nil {
+				b.Fatal(err)
+			}
+			warm := bat.Stats()
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				var wg sync.WaitGroup
+				errs := make([]error, clients)
+				for c := 0; c < clients; c++ {
+					wg.Add(1)
+					go func(c int) {
+						defer wg.Done()
+						_, errs[c] = bat.Predict(ctx, states[c%nStates])
+					}(c)
+				}
+				wg.Wait()
+				for _, err := range errs {
+					if err != nil {
+						b.Fatal(err)
+					}
+				}
+			}
+			b.StopTimer()
+			rps := reportRPS(b, clients*b.N)
+			if seqRPS > 0 {
+				b.ReportMetric(rps/seqRPS, "speedup_vs_sequential")
+			}
+			if concRPS > 0 {
+				// The apples-to-apples serving comparison: the same 16
+				// concurrent clients with coalescing off. Unbatched
+				// concurrency pays one clone set per in-flight request
+				// and the resulting allocation/cache pressure.
+				b.ReportMetric(rps/concRPS, "speedup_vs_unbatched")
+			}
+			s := bat.Stats()
+			s.Requests -= warm.Requests
+			s.Batches -= warm.Batches
+			b.ReportMetric(s.MeanFill(), "mean_batch_fill")
 		})
 	}
 }

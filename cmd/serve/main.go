@@ -1,0 +1,161 @@
+// Command serve exposes a trained ensemble over HTTP: one-step
+// prediction behind the micro-batching request coalescer
+// (core.Batcher) and streaming rollout sessions, the serving topology
+// DESIGN.md §9 describes.
+//
+// Usage:
+//
+//	serve -ckpt ckpt -addr 127.0.0.1:8080 -max-batch 8 -max-delay 2ms
+//
+// Endpoints:
+//
+//	GET  /healthz              liveness probe
+//	POST /v1/predict           one-step prediction; body {"states":[{"shape":[c,h,w],"data":[...]}]}
+//	                           (or gob with Content-Type application/x-gob);
+//	                           concurrent requests are coalesced into micro-batches
+//	POST /v1/rollout?steps=N   streaming rollout from the POSTed history
+//	                           (one JSON frame per chunk)
+//	GET  /v1/rollout?steps=N   the same, from the -init dataset's opening history
+//
+// -addr with port 0 picks a free port; the chosen address is printed
+// as "serving on host:port" once the listener is up, which is what
+// scripts/smoke_serve.sh and scripts/loadtest.sh wait for.
+//
+// On SIGTERM/SIGINT the server drains gracefully: the listener stops
+// accepting, in-flight requests (including open rollout streams) get
+// -drain-timeout to finish, and the batcher flushes every queued
+// prediction before the process exits.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/nn"
+	"repro/internal/serve"
+	"repro/internal/tensor"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("serve: ")
+
+	var (
+		addr         = flag.String("addr", "127.0.0.1:8080", "listen address (port 0 = pick a free port)")
+		ckptDir      = flag.String("ckpt", "ckpt", "checkpoint directory from cmd/train")
+		initPath     = flag.String("init", "", "dataset (.gob) whose opening snapshots seed GET /v1/rollout")
+		workers      = flag.Int("workers", 0, "serving parallelism: ranks fan out per micro-batch and convolution kernels tile-parallelize (0 = single-threaded; results are bit-identical for any value)")
+		backend      = flag.String("conv", "gemm", "convolution engine: gemm | naive")
+		exchange     = flag.String("exchange", "blocking", "halo exchange schedule for rollout sessions: blocking | overlap")
+		maxBatch     = flag.Int("max-batch", 8, "micro-batch size cap for /v1/predict coalescing")
+		maxDelay     = flag.Duration("max-delay", 2*time.Millisecond, "max wait for predict batchmates before dispatching a partial batch")
+		maxSteps     = flag.Int("max-steps", 10000, "cap on the rollout steps query parameter")
+		drainTimeout = flag.Duration("drain-timeout", 10*time.Second, "grace period for in-flight requests on shutdown")
+	)
+	flag.Parse()
+
+	var convBackend nn.ConvBackend
+	switch *backend {
+	case "gemm":
+		convBackend = nn.FastPath
+	case "naive":
+		convBackend = nn.SlowPath
+	default:
+		log.Fatalf("unknown convolution engine %q", *backend)
+	}
+	mode, err := core.ParseExchangeMode(*exchange)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	e, err := core.LoadEnsemble(*ckptDir)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("ensemble: %dx%d ranks on %dx%d grid, strategy %v, window %d\n",
+		e.Partition.Px, e.Partition.Py, e.Partition.Nx, e.Partition.Ny, e.ModelCfg.Strategy, max(e.Window, 1))
+
+	engOpts := []core.EngineOption{
+		core.WithConvBackend(convBackend),
+		core.WithExchangeMode(mode),
+	}
+	if *workers > 0 {
+		engOpts = append(engOpts, core.WithWorkers(*workers))
+	}
+	eng, err := core.NewEngine(e, engOpts...)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	cfg := serve.Config{
+		MaxBatch:        *maxBatch,
+		MaxDelay:        *maxDelay,
+		MaxRolloutSteps: *maxSteps,
+	}
+	if *initPath != "" {
+		ds, err := dataset.Load(*initPath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		norm, err := dataset.FitMinMax(ds, 0.1, 0.9)
+		if err != nil {
+			log.Fatal(err)
+		}
+		nds := dataset.NormalizeDataset(ds, norm)
+		window := max(e.Window, 1)
+		if nds.Len() < window {
+			log.Fatalf("-init dataset has %d snapshots, temporal window needs %d", nds.Len(), window)
+		}
+		cfg.Initials = append([]*tensor.Tensor(nil), nds.Snapshots[:window]...)
+	}
+	srv, err := serve.New(eng, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		log.Fatal(err)
+	}
+	hs := &http.Server{Handler: srv}
+	fmt.Printf("serving on %s\n", ln.Addr())
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- hs.Serve(ln) }()
+
+	select {
+	case err := <-serveErr:
+		log.Fatal(err)
+	case <-ctx.Done():
+	}
+	// Graceful drain: stop accepting, let in-flight handlers finish,
+	// then flush the batcher's queue.
+	fmt.Println("draining…")
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	if err := hs.Shutdown(shutdownCtx); err != nil {
+		log.Printf("shutdown: %v", err)
+	}
+	if err := srv.Close(); err != nil {
+		log.Printf("batcher drain: %v", err)
+	}
+	if err := <-serveErr; err != nil && !errors.Is(err, http.ErrServerClosed) {
+		log.Fatal(err)
+	}
+	s := srv.Batcher().Stats()
+	fmt.Printf("served %d predictions in %d micro-batches (mean fill %.2f)\n",
+		s.Requests, s.Batches, s.MeanFill())
+}

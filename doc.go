@@ -9,10 +9,31 @@
 // single cancellable training entrypoint (paper scheme, sequential
 // reference, and the data-parallel baseline as options, with progress
 // callbacks), and core.Engine wraps a trained ensemble for concurrent
-// serving — any number of streaming rollout Sessions and one-shot
+// serving. Any number of streaming rollout Sessions and one-shot
 // Predict calls run at once over weight-sharing model clones
 // (nn.Sequential.CloneShared), each cancellable mid-flight and O(1) in
-// memory regardless of rollout depth.
+// memory regardless of rollout depth. Validation failures carry the
+// named errors core.ErrBadWindow / core.ErrShapeMismatch for
+// errors.Is branching.
+//
+// Serving is micro-batched end to end (DESIGN.md §9). The batch axis
+// is first-class through the whole compute stack — every nn layer
+// maps [N, ...] inputs such that image i's output is bit-identical to
+// a batch-of-1 call, with the convolution layers sweeping one tall
+// im2col+GEMM task space per batch — and core.Engine.PredictBatch
+// evaluates a micro-batch of requests in one pass over the rank
+// models (cache-sized image chunks, one pooled clone set).
+// core.Batcher (options core.WithMaxBatch, core.WithMaxDelay)
+// transparently coalesces concurrent Predict callers into such
+// micro-batches, racing the batch-size trigger against the delay
+// trigger while preserving per-request cancellation and error
+// isolation. cmd/serve exposes the whole surface over HTTP —
+// POST /v1/predict (JSON or gob tensors, coalesced behind the
+// batcher) and GET|POST /v1/rollout (chunked streaming of session
+// frames) — with graceful drain on SIGTERM; internal/serve holds the
+// handler plus the typed Client, and scripts/loadtest.sh drives it.
+// See the package examples (Example_enginePredict, Example_batcher,
+// Example_httpClient) for runnable end-to-end snippets.
 //
 // The message-passing runtime is transport-agnostic (DESIGN.md §8):
 // the same World/Comm semantics (non-overtaking tagged p2p,
@@ -32,12 +53,15 @@
 //   - internal/tensor — dense float64 N-d tensors and the GEMM +
 //     im2col convolution engine (blocked panel kernels with AVX2/
 //     AVX-512 FMA assembly on amd64 and a portable fallback)
-//   - internal/nn     — CNN layers with hand-derived backprop, a
+//   - internal/nn     — CNN layers with hand-derived backprop and a
+//     native batch axis (batched outputs bit-identical per image), a
 //     fast-path/slow-path engine switch (DESIGN.md §3, pinnable
 //     per-network for serving), reusable scratch arenas,
 //     weight-sharing clones for concurrent inference, and the
 //     interior/boundary halo tile split behind the overlapped
 //     exchange (DESIGN.md §8)
+//   - internal/serve  — HTTP serving front end (predict + streaming
+//     rollout handlers, typed client) over Engine/Batcher (§9)
 //   - internal/opt    — SGD / momentum / RMSProp / ADAM (paper Eq. 3–6)
 //   - internal/loss   — MSE / MAE / MAPE (paper Eq. 7) / SMAPE / Huber
 //   - internal/mpi    — message-passing runtime with MPI semantics
@@ -54,6 +78,8 @@
 //   - internal/viz — ASCII/PGM/PPM field rendering
 //
 // The benchmark harness in bench_test.go regenerates every table and
-// figure of the paper's evaluation; see DESIGN.md for the experiment
-// index and EXPERIMENTS.md for paper-vs-measured results.
+// figure of the paper's evaluation plus the serving exhibits
+// (BenchmarkBatcherThroughput, BenchmarkSessionConcurrentRollout);
+// see DESIGN.md for the experiment index and EXPERIMENTS.md for
+// paper-vs-measured results.
 package repro

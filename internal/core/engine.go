@@ -46,13 +46,14 @@ type rankModels struct {
 // EngineOption configures an Engine at construction time.
 type EngineOption func(*Engine)
 
-// WithWorkers sets the intra-layer parallelism of the convolution
-// kernels for every session served by this engine (0 or 1 =
-// single-threaded; results are bit-identical for any value). Unlike
-// the deprecated Ensemble.SetWorkers this never touches the shared
-// models — the knob is applied to each session's private clones.
-// Without this option, clones inherit whatever knob the ensemble's
-// models already carry (e.g. from TrainConfig.Workers).
+// WithWorkers sets the serving parallelism for this engine (0 or 1 =
+// single-threaded; results are bit-identical for any value): the
+// intra-layer tile parallelism of the convolution kernels in every
+// session, and the per-rank fan-out of PredictBatch micro-batches.
+// Unlike the deprecated Ensemble.SetWorkers this never touches the
+// shared models — the knob is applied to each session's private
+// clones. Without this option, clones inherit whatever knob the
+// ensemble's models already carry (e.g. from TrainConfig.Workers).
 func WithWorkers(n int) EngineOption {
 	return func(e *Engine) { e.workers, e.workersSet = n, true }
 }
@@ -164,17 +165,27 @@ func (eng *Engine) acquire() *rankModels { return eng.pool.Get().(*rankModels) }
 func (eng *Engine) release(rm *rankModels) { eng.pool.Put(rm) }
 
 // validateStates checks a history of full-domain states against the
-// engine's grid and window, returning the effective window.
+// engine's grid, channel count and window, returning the effective
+// window. Validation failures wrap the named errors ErrBadWindow and
+// ErrShapeMismatch so callers (the Batcher, the HTTP front end) can
+// branch with errors.Is.
 func (eng *Engine) validateStates(states []*tensor.Tensor) (window int, err error) {
 	window = eng.ens.window()
 	if len(states) < window {
-		return 0, fmt.Errorf("core: need %d initial states for temporal window %d, got %d", window, window, len(states))
+		return 0, fmt.Errorf("core: need %d initial states for temporal window %d, got %d: %w", window, window, len(states), ErrBadWindow)
 	}
 	p := eng.ens.Partition
 	for _, st := range states {
 		if st.Rank() != 3 || st.Dim(1) != p.Ny || st.Dim(2) != p.Nx {
-			return 0, fmt.Errorf("core: state %v does not match grid %dx%d", st.Shape(), p.Nx, p.Ny)
+			return 0, fmt.Errorf("core: state %v does not match grid %dx%d: %w", st.Shape(), p.Nx, p.Ny, ErrShapeMismatch)
 		}
+		if st.Dim(0) != states[0].Dim(0) {
+			return 0, fmt.Errorf("core: history states mix channel counts %d and %d: %w", states[0].Dim(0), st.Dim(0), ErrShapeMismatch)
+		}
+	}
+	if c := states[0].Dim(0); eng.ens.ModelCfg.Channels[0] != c*window {
+		return 0, fmt.Errorf("core: %d-channel states with window %d need a %d-channel model, ensemble has %d: %w",
+			c, window, c*window, eng.ens.ModelCfg.Channels[0], ErrShapeMismatch)
 	}
 	if eng.ens.ModelCfg.Strategy == model.InnerCrop {
 		return 0, fmt.Errorf("core: the inner-crop strategy cannot serve: its output omits the subdomain interface points (paper §III)")
@@ -315,7 +326,7 @@ func (eng *Engine) NewSession(ctx context.Context, initials ...*tensor.Tensor) (
 		}
 		world = mpi.NewWorld(p.Ranks(), opts...)
 	} else if !eng.worldBusy.CompareAndSwap(false, true) {
-		return nil, fmt.Errorf("core: the engine's bound world already serves a live session")
+		return nil, fmt.Errorf("core: %w", ErrWorldBusy)
 	}
 	s := &Session{
 		eng:      eng,
@@ -380,7 +391,7 @@ func subStats(a, b mpi.CommStats) mpi.CommStats {
 // remains usable if the caller retries.
 func (s *Session) Step(ctx context.Context) (*tensor.Tensor, error) {
 	if s.closed {
-		return nil, fmt.Errorf("core: Step on closed session")
+		return nil, fmt.Errorf("core: Step: %w", ErrSessionClosed)
 	}
 	if err := ctx.Err(); err != nil {
 		return nil, err
@@ -563,15 +574,22 @@ func (s *Session) LastStepStats() (comm, halo mpi.CommStats) {
 // Close releases the session's model clones back to the engine's pool
 // and, in Overlap mode, drains the still-pending phase-1 receives of
 // the final frame — so a bound world is left without stray messages
-// and can serve the next session. Closing twice is a no-op; using the
-// session after Close is an error.
+// and can serve the next session. If that drain fails (e.g. a TCP
+// peer died while the receives were in flight), Close still releases
+// every resource and returns the drain error wrapped — the session is
+// fully closed either way, so callers that only want cleanup may
+// ignore it, while callers reusing a bound world should treat it as
+// fail-stop and build a fresh world. Closing twice is a no-op
+// (returns nil); using the session after Close fails with
+// ErrSessionClosed.
 func (s *Session) Close() error {
 	if s.closed {
 		return nil
 	}
 	s.closed = true
+	var drainErr error
 	if s.mode == Overlap && !s.broken {
-		drained := s.world.Run(func(comm *mpi.Comm) {
+		drainErr = s.world.Run(func(comm *mpi.Comm) {
 			st := &s.rk[comm.Rank()]
 			if st.reqW != nil {
 				st.reqW.Wait()
@@ -583,23 +601,27 @@ func (s *Session) Close() error {
 			}
 			st.pending = false
 		})
-		if drained == nil {
+		if drainErr == nil {
 			addStats(&s.stats, s.world.TotalStats())
 		}
 	}
 	if s.ownWorld {
 		s.world.Close()
-	} else if !s.broken {
+	} else if !s.broken && drainErr == nil {
 		s.eng.worldBusy.Store(false)
 	}
-	// A broken session leaves its bound world permanently busy: a rank
-	// failed mid-step, so peers' halo/gather messages may still be
-	// queued and a new session's receives would silently match them
-	// (identical tags and strip sizes). Fail-stop — build a fresh
-	// world — rather than serve stale data.
+	// A broken session (a rank failed mid-step, or the close-time drain
+	// itself failed) leaves its bound world permanently busy: peers'
+	// halo/gather messages may still be queued and a new session's
+	// receives would silently match them (identical tags and strip
+	// sizes). Fail-stop — build a fresh world — rather than serve stale
+	// data.
 	s.eng.release(s.rm)
 	s.rm = nil
 	s.hist = nil
 	s.world = nil
+	if drainErr != nil {
+		return fmt.Errorf("core: draining pending halo receives on close: %w", drainErr)
+	}
 	return nil
 }

@@ -216,11 +216,23 @@ func convTileCols(ckk, frame int) int {
 // resident in the scratch arena, the kernel tensor is viewed as a
 // [Cout × Cin·K²] matrix, and the tile's output columns are
 // Y[:, tile] = W·panel + b. Padding is folded into the lowering, so no
-// padded input copy is ever materialized. With Workers > 1 the tiles
-// (whose output columns are disjoint) fan out to goroutines, each with
-// its own panel. The raw input is cached for Backward by reference,
-// making steady-state Forward calls allocation-free in the lowering —
-// only the output tensor itself is freshly allocated.
+// padded input copy is ever materialized.
+//
+// The batch axis is folded into the tile axis (DESIGN.md §9): a batch
+// of N images is one sweep over N·ntiles (image, tile) tasks with a
+// single scratch reservation, so the whole batch flows through the
+// layer as one tall lowered product instead of N independent calls.
+// Tile geometry is strictly per-image — tiles never span image
+// boundaries — because the GEMM kernels' per-element rounding depends
+// on the element's position within its panel: per-image tiling is what
+// makes a batched forward bit-identical, image for image, to N
+// batch-of-1 forwards (asserted by nn/batched_test.go). With
+// Workers > 1 the (image, tile) tasks — whose output columns are
+// disjoint — fan out to goroutines, each with its own panel, so
+// parallelism now scales with the batch even when a single frame has
+// few tiles. The raw input is cached for Backward by reference, making
+// steady-state Forward calls allocation-free in the lowering — only
+// the output tensor itself is freshly allocated.
 func (c *Conv2D) forwardGEMM(x *tensor.Tensor) *tensor.Tensor {
 	n, cin, h, wid := x.Dim(0), x.Dim(1), x.Dim(2), x.Dim(3)
 	k, cout := c.Kernel, c.OutChannels
@@ -242,9 +254,10 @@ func (c *Conv2D) forwardGEMM(x *tensor.Tensor) *tensor.Tensor {
 	frame := oh * ow
 	tw := convTileCols(ckk, frame)
 	ntiles := (frame + tw - 1) / tw
+	tasks := n * ntiles
 	nw := c.Workers
-	if nw > ntiles {
-		nw = ntiles
+	if nw > tasks {
+		nw = tasks
 	}
 	if nw < 1 {
 		nw = 1
@@ -259,30 +272,29 @@ func (c *Conv2D) forwardGEMM(x *tensor.Tensor) *tensor.Tensor {
 
 	y := tensor.New(n, cout, oh, ow)
 	xd, wd, yd, bd := x.Data(), c.weight.Value.Data(), y.Data(), c.bias.Value.Data()
-	for in := 0; in < n; in++ {
-		xn := xd[in*cin*h*wid : (in+1)*cin*h*wid]
-		out := yd[in*cout*frame : (in+1)*cout*frame]
-		// Worker w sweeps its contiguous range of tiles with its own
-		// panel; tile output columns are disjoint, so any assignment of
-		// tiles to goroutines produces identical results.
-		parallelFor(nw, nw, func(w int) {
-			cols := panels[w]
-			for t := w * ntiles / nw; t < (w+1)*ntiles/nw; t++ {
-				j0 := t * tw
-				j1 := min(j0+tw, frame)
-				twa := j1 - j0
-				tensor.Im2ColWindow(xn, cin, h, wid, k, c.Pad, j0, j1, cols)
-				for co := 0; co < cout; co++ {
-					row := out[co*frame+j0 : co*frame+j1]
-					bv := bd[co]
-					for i := range row {
-						row[i] = bv
-					}
+	// Worker w sweeps its contiguous range of (image, tile) tasks with
+	// its own panel; task output columns are disjoint, so any
+	// assignment of tasks to goroutines produces identical results.
+	parallelFor(nw, nw, func(w int) {
+		cols := panels[w]
+		for t := w * tasks / nw; t < (w+1)*tasks/nw; t++ {
+			in, tt := t/ntiles, t%ntiles
+			xn := xd[in*cin*h*wid : (in+1)*cin*h*wid]
+			out := yd[in*cout*frame : (in+1)*cout*frame]
+			j0 := tt * tw
+			j1 := min(j0+tw, frame)
+			twa := j1 - j0
+			tensor.Im2ColWindow(xn, cin, h, wid, k, c.Pad, j0, j1, cols)
+			for co := 0; co < cout; co++ {
+				row := out[co*frame+j0 : co*frame+j1]
+				bv := bd[co]
+				for i := range row {
+					row[i] = bv
 				}
-				tensor.GemmPanelNN(cout, twa, ckk, wd, ckk, cols, twa, out[j0:], frame, true, 1)
 			}
-		})
-	}
+			tensor.GemmPanelNN(cout, twa, ckk, wd, ckk, cols, twa, out[j0:], frame, true, 1)
+		}
+	})
 	return y
 }
 

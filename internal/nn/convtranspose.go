@@ -214,9 +214,14 @@ func (c *ConvTranspose2D) Backward(gradOut *tensor.Tensor) *tensor.Tensor {
 // which is exactly the adjoint of the Conv2D fast path with the roles
 // of image and output swapped: the transpose-conv output (size
 // OH = H+K-1) plays the "image" and the input plays the "conv output".
-// Tiles run serially — their scatters into y overlap — and Workers > 1
-// parallelizes row bands inside the GEMM, keeping results
-// bit-identical for any worker count.
+// Within one image, tiles run serially — their scatters into y
+// overlap. Across a batch, images are independent (their scatters are
+// disjoint), so with Workers > 1 and N > 1 whole images fan out to
+// goroutines, each with its own panel; a batch-of-1 call instead
+// parallelizes row bands inside each GEMM. Per-image work is identical
+// either way, so batched outputs are bit-identical, image for image,
+// to batch-of-1 calls, and results are bit-identical for any worker
+// count.
 func (c *ConvTranspose2D) forwardGEMM(x *tensor.Tensor) *tensor.Tensor {
 	n, cin, h, wid := x.Dim(0), x.Dim(1), x.Dim(2), x.Dim(3)
 	k, cout := c.Kernel, c.OutChannels
@@ -230,29 +235,50 @@ func (c *ConvTranspose2D) forwardGEMM(x *tensor.Tensor) *tensor.Tensor {
 	ckk := tensor.Im2ColRows(cout, k)
 	frame := h * wid
 	tw := convTileCols(ckk, frame)
+	nw := c.Workers
+	if nw > n {
+		nw = n
+	}
+	if nw < 1 {
+		nw = 1
+	}
+	// Leftover parallelism goes to row bands inside each GEMM (e.g.
+	// Workers=8 over a 2-image batch → 2 image goroutines × 4-way
+	// GEMMs). Any split is bit-identical (§3 determinism).
+	gemmWorkers := c.Workers / nw
+	if gemmWorkers < 1 {
+		gemmWorkers = 1
+	}
+
 	mark := c.scratch.Mark()
-	cols := c.scratch.Alloc(ckk * tw)
+	panels := make([][]float64, nw)
+	for w := range panels {
+		panels[w] = c.scratch.Alloc(ckk * tw)
+	}
 	defer c.scratch.Release(mark)
 
 	y := tensor.New(n, cout, oh, ow)
 	xd, wd, yd, bd := x.Data(), c.weight.Value.Data(), y.Data(), c.bias.Value.Data()
-	for in := 0; in < n; in++ {
-		out := yd[in*cout*oh*ow : (in+1)*cout*oh*ow]
-		for co := 0; co < cout; co++ {
-			row := out[co*oh*ow : (co+1)*oh*ow]
-			bv := bd[co]
-			for i := range row {
-				row[i] = bv
+	parallelFor(nw, nw, func(w int) {
+		cols := panels[w]
+		for in := w * n / nw; in < (w+1)*n/nw; in++ {
+			out := yd[in*cout*oh*ow : (in+1)*cout*oh*ow]
+			for co := 0; co < cout; co++ {
+				row := out[co*oh*ow : (co+1)*oh*ow]
+				bv := bd[co]
+				for i := range row {
+					row[i] = bv
+				}
+			}
+			xn := xd[in*cin*frame : (in+1)*cin*frame]
+			for j0 := 0; j0 < frame; j0 += tw {
+				j1 := min(j0+tw, frame)
+				twa := j1 - j0
+				tensor.GemmPanelTN(ckk, twa, cin, wd, ckk, xn[j0:], frame, cols, twa, false, gemmWorkers)
+				tensor.Col2ImWindow(cols, cout, oh, ow, k, 0, j0, j1, out)
 			}
 		}
-		xn := xd[in*cin*frame : (in+1)*cin*frame]
-		for j0 := 0; j0 < frame; j0 += tw {
-			j1 := min(j0+tw, frame)
-			twa := j1 - j0
-			tensor.GemmPanelTN(ckk, twa, cin, wd, ckk, xn[j0:], frame, cols, twa, false, c.Workers)
-			tensor.Col2ImWindow(cols, cout, oh, ow, k, 0, j0, j1, out)
-		}
-	}
+	})
 	return y
 }
 

@@ -7,8 +7,11 @@ import (
 )
 
 // Dense is a fully connected layer mapping [N, In] → [N, Out] with
-// y = xW + b. It supports experiments comparing the paper's CNN against
-// fully connected alternatives and serves as the output head of the
+// y = xW + b. The batch axis is native: the whole batch is one matrix
+// product (no per-sample loop in the contraction), and each row of the
+// result is bit-identical to a batch-of-1 call on that row. It
+// supports experiments comparing the paper's CNN against fully
+// connected alternatives and serves as the output head of the
 // recurrent extension.
 type Dense struct {
 	In, Out int

@@ -159,6 +159,7 @@ func (l *LSTM) Backward(gradOut *tensor.Tensor) *tensor.Tensor {
 
 	dh := make([]float64, n*l.Hidden) // running dL/dh_t
 	dc := make([]float64, n*l.Hidden) // running dL/dc_t
+	dGate := make([]float64, h4)      // pre-activation gradients, reused per (step, sample)
 	for step := t - 1; step >= 0; step-- {
 		gates := cc.gates[step]
 		cPrev := cc.cs[step]
@@ -171,7 +172,8 @@ func (l *LSTM) Backward(gradOut *tensor.Tensor) *tensor.Tensor {
 			for j := 0; j < l.Hidden; j++ {
 				dh[hBase+j] += gd[(s*t+step)*l.Hidden+j]
 			}
-			dGate := make([]float64, h4) // pre-activation gradients
+			// Every dGate entry is overwritten below, so the buffer can
+			// be shared across (step, sample) iterations.
 			for j := 0; j < l.Hidden; j++ {
 				iv := gRow[j]
 				fv := gRow[l.Hidden+j]

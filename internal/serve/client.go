@@ -1,0 +1,195 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/gob"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+
+	"repro/internal/tensor"
+)
+
+// Client is the typed Go client for a Server. The zero value is not
+// usable; construct with NewClient. Binary switches the wire format
+// from JSON to gob — ~3× smaller requests and no float formatting
+// cost, with bit-identical tensors either way.
+type Client struct {
+	// BaseURL is the server root, e.g. "http://127.0.0.1:8080".
+	BaseURL string
+	// HTTPClient defaults to http.DefaultClient.
+	HTTPClient *http.Client
+	// Binary selects the gob wire format.
+	Binary bool
+}
+
+// NewClient returns a JSON-format client for the given base URL.
+func NewClient(baseURL string) *Client {
+	return &Client{BaseURL: strings.TrimRight(baseURL, "/")}
+}
+
+func (c *Client) httpClient() *http.Client {
+	if c.HTTPClient != nil {
+		return c.HTTPClient
+	}
+	return http.DefaultClient
+}
+
+func (c *Client) encodeBody(states []*tensor.Tensor) (io.Reader, string, error) {
+	req := PredictRequest{States: make([]TensorJSON, len(states))}
+	for i, st := range states {
+		req.States[i] = NewTensorJSON(st)
+	}
+	var buf bytes.Buffer
+	if c.Binary {
+		if err := gob.NewEncoder(&buf).Encode(req); err != nil {
+			return nil, "", err
+		}
+		return &buf, ContentTypeGob, nil
+	}
+	if err := json.NewEncoder(&buf).Encode(req); err != nil {
+		return nil, "", err
+	}
+	return &buf, "application/json", nil
+}
+
+func httpError(resp *http.Response) error {
+	msg, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+	return fmt.Errorf("serve: %s: %s", resp.Status, strings.TrimSpace(string(msg)))
+}
+
+// Predict posts the history (oldest first) to /v1/predict and returns
+// the predicted full-domain frame. Requests are coalesced into
+// micro-batches server-side; results are bit-identical to a local
+// Engine.Predict on the same ensemble.
+func (c *Client) Predict(ctx context.Context, states ...*tensor.Tensor) (*tensor.Tensor, error) {
+	body, contentType, err := c.encodeBody(states)
+	if err != nil {
+		return nil, err
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.BaseURL+"/v1/predict", body)
+	if err != nil {
+		return nil, err
+	}
+	req.Header.Set("Content-Type", contentType)
+	resp, err := c.httpClient().Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, httpError(resp)
+	}
+	if c.Binary {
+		var t tensor.Tensor
+		if err := gob.NewDecoder(resp.Body).Decode(&t); err != nil {
+			return nil, fmt.Errorf("serve: decoding gob response: %w", err)
+		}
+		return &t, nil
+	}
+	var wire TensorJSON
+	if err := json.NewDecoder(resp.Body).Decode(&wire); err != nil {
+		return nil, fmt.Errorf("serve: decoding json response: %w", err)
+	}
+	return wire.Tensor()
+}
+
+// Rollout streams a steps-deep autoregressive rollout, handing each
+// frame to fn as it arrives. A nil states slice issues a GET — the
+// server rolls out from its configured initial history; otherwise the
+// history is POSTed. fn returning an error stops consuming (the
+// server notices the closed connection within one step).
+func (c *Client) Rollout(ctx context.Context, steps int, states []*tensor.Tensor, fn func(step int, frame *tensor.Tensor) error) error {
+	url := fmt.Sprintf("%s/v1/rollout?steps=%d", c.BaseURL, steps)
+	var req *http.Request
+	var err error
+	if states == nil {
+		req, err = http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+		if err == nil && c.Binary {
+			req.Header.Set("Accept", ContentTypeGob)
+		}
+	} else {
+		var body io.Reader
+		var contentType string
+		body, contentType, err = c.encodeBody(states)
+		if err != nil {
+			return err
+		}
+		req, err = http.NewRequestWithContext(ctx, http.MethodPost, url, body)
+		if err == nil {
+			req.Header.Set("Content-Type", contentType)
+		}
+	}
+	if err != nil {
+		return err
+	}
+	resp, err := c.httpClient().Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return httpError(resp)
+	}
+
+	// Both formats are stream-stateful decoders over the chunked body.
+	var next func() (RolloutFrame, error)
+	if resp.Header.Get("Content-Type") == ContentTypeGob {
+		dec := gob.NewDecoder(resp.Body)
+		next = func() (RolloutFrame, error) {
+			var f RolloutFrame
+			return f, dec.Decode(&f)
+		}
+	} else {
+		dec := json.NewDecoder(resp.Body)
+		next = func() (RolloutFrame, error) {
+			var f RolloutFrame
+			return f, dec.Decode(&f)
+		}
+	}
+	for k := 0; k < steps; k++ {
+		f, err := next()
+		if err == io.EOF {
+			return fmt.Errorf("serve: rollout stream ended after %d of %d frames", k, steps)
+		}
+		if err != nil {
+			return fmt.Errorf("serve: decoding rollout frame %d: %w", k, err)
+		}
+		if f.Error != "" {
+			return fmt.Errorf("serve: rollout failed at frame %d: %s", k, f.Error)
+		}
+		if f.Frame == nil {
+			return fmt.Errorf("serve: rollout frame %d without payload", k)
+		}
+		frame, err := f.Frame.Tensor()
+		if err != nil {
+			return err
+		}
+		if fn != nil {
+			if err := fn(f.Step, frame); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// Healthy checks /healthz.
+func (c *Client) Healthy(ctx context.Context) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.BaseURL+"/healthz", nil)
+	if err != nil {
+		return err
+	}
+	resp, err := c.httpClient().Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return httpError(resp)
+	}
+	return nil
+}

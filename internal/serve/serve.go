@@ -1,0 +1,315 @@
+// Package serve is the HTTP serving front end over core.Engine
+// (DESIGN.md §9): it exposes one-step prediction behind the
+// micro-batching core.Batcher and streaming rollout sessions over
+// chunked responses, with the graceful-drain lifecycle cmd/serve
+// wires to SIGTERM. The package splits handler from process concerns
+// so the whole surface is testable in-process (httptest) — cmd/serve
+// is a thin flag-parsing shell around Server, and Client is the typed
+// Go client the examples and load tests drive it with.
+//
+// Wire formats. Tensors travel either as JSON
+// ({"shape":[c,h,w],"data":[...]}; float64 values round-trip
+// bit-exactly through Go's shortest-form encoding) or as gob
+// (Content-Type application/x-gob), the same encoding the checkpoint
+// format uses. A predict request carries the temporal history
+// ({"states":[...]}, oldest first, at least Window states); the
+// response mirrors the request's content type.
+package serve
+
+import (
+	"context"
+	"encoding/gob"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/tensor"
+)
+
+// ContentTypeGob selects the binary (encoding/gob) wire format; any
+// other request content type is treated as JSON.
+const ContentTypeGob = "application/x-gob"
+
+// maxBodyBytes bounds request bodies (a 1024×1024 4-channel float64
+// state is 32 MiB; the bound leaves generous headroom without letting
+// a bad client exhaust memory).
+const maxBodyBytes = 256 << 20
+
+// TensorJSON is the JSON wire form of a tensor.
+type TensorJSON struct {
+	Shape []int     `json:"shape"`
+	Data  []float64 `json:"data"`
+}
+
+// NewTensorJSON converts a tensor to its wire form (sharing the data
+// slice; do not mutate either afterwards).
+func NewTensorJSON(t *tensor.Tensor) TensorJSON {
+	return TensorJSON{Shape: t.Shape(), Data: t.Data()}
+}
+
+// Tensor validates the wire form and converts it back.
+func (w TensorJSON) Tensor() (*tensor.Tensor, error) {
+	if len(w.Shape) == 0 {
+		return nil, fmt.Errorf("serve: tensor without shape")
+	}
+	n := 1
+	for _, d := range w.Shape {
+		if d <= 0 {
+			return nil, fmt.Errorf("serve: non-positive dimension in shape %v", w.Shape)
+		}
+		n *= d
+	}
+	if n != len(w.Data) {
+		return nil, fmt.Errorf("serve: shape %v needs %d values, body carries %d", w.Shape, n, len(w.Data))
+	}
+	return tensor.FromSlice(w.Data, w.Shape...), nil
+}
+
+// PredictRequest is the body of POST /v1/predict and POST /v1/rollout:
+// the temporal history, oldest first (a single-frame model takes one
+// state). The gob format encodes the same struct.
+type PredictRequest struct {
+	States []TensorJSON `json:"states"`
+}
+
+// RolloutFrame is one line of the streamed rollout response (JSON
+// lines; the gob stream encodes the same struct per frame). A frame
+// with a non-empty Error terminates the stream.
+type RolloutFrame struct {
+	Step  int         `json:"step"`
+	Frame *TensorJSON `json:"frame,omitempty"`
+	Error string      `json:"error,omitempty"`
+}
+
+// Config tunes a Server.
+type Config struct {
+	// MaxBatch / MaxDelay configure the request coalescer
+	// (core.WithMaxBatch / core.WithMaxDelay); zero values take the
+	// Batcher defaults.
+	MaxBatch int
+	MaxDelay time.Duration
+	// Initials, when set, is the history GET /v1/rollout starts from
+	// (oldest first, at least the ensemble's Window states). POST
+	// rollouts carry their own history and work without it.
+	Initials []*tensor.Tensor
+	// MaxRolloutSteps caps the steps query parameter (default 10000).
+	MaxRolloutSteps int
+}
+
+// Server is the http.Handler serving an engine. Build it with New,
+// close it with Close (after http.Server.Shutdown, so in-flight
+// handlers drain first).
+type Server struct {
+	eng      *core.Engine
+	bat      *core.Batcher
+	initials []*tensor.Tensor
+	maxSteps int
+	mux      *http.ServeMux
+}
+
+// New wraps an engine for HTTP serving. Every /v1/predict call is
+// coalesced by an internal Batcher; /v1/rollout opens one streaming
+// Session per request.
+func New(eng *core.Engine, cfg Config) (*Server, error) {
+	var bopts []core.BatcherOption
+	if cfg.MaxBatch > 0 {
+		bopts = append(bopts, core.WithMaxBatch(cfg.MaxBatch))
+	}
+	if cfg.MaxDelay > 0 {
+		bopts = append(bopts, core.WithMaxDelay(cfg.MaxDelay))
+	}
+	bat, err := core.NewBatcher(eng, bopts...)
+	if err != nil {
+		return nil, err
+	}
+	s := &Server{
+		eng:      eng,
+		bat:      bat,
+		initials: cfg.Initials,
+		maxSteps: cfg.MaxRolloutSteps,
+		mux:      http.NewServeMux(),
+	}
+	if s.maxSteps <= 0 {
+		s.maxSteps = 10000
+	}
+	s.mux.HandleFunc("/healthz", s.handleHealth)
+	s.mux.HandleFunc("/v1/predict", s.handlePredict)
+	s.mux.HandleFunc("/v1/rollout", s.handleRollout)
+	return s, nil
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+// Batcher exposes the request coalescer (for stats reporting).
+func (s *Server) Batcher() *core.Batcher { return s.bat }
+
+// Close drains the batcher: queued predictions are still served, new
+// ones fail with core.ErrBatcherClosed (mapped to 503). Call it after
+// http.Server.Shutdown has drained in-flight handlers.
+func (s *Server) Close() error { return s.bat.Close() }
+
+func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprintln(w, "ok")
+}
+
+// decodeStates reads a predict/rollout body in either wire format.
+// MaxBytesReader (rather than a plain LimitReader) makes an oversized
+// body fail loudly and forces the connection closed instead of
+// draining the remainder.
+func decodeStates(w http.ResponseWriter, r *http.Request) ([]*tensor.Tensor, bool, error) {
+	binary := r.Header.Get("Content-Type") == ContentTypeGob
+	body := http.MaxBytesReader(w, r.Body, maxBodyBytes)
+	var req PredictRequest
+	if binary {
+		if err := gob.NewDecoder(body).Decode(&req); err != nil {
+			return nil, binary, fmt.Errorf("serve: gob body: %w", err)
+		}
+	} else {
+		if err := json.NewDecoder(body).Decode(&req); err != nil {
+			return nil, binary, fmt.Errorf("serve: json body: %w", err)
+		}
+	}
+	states := make([]*tensor.Tensor, len(req.States))
+	for i, ws := range req.States {
+		t, err := ws.Tensor()
+		if err != nil {
+			return nil, binary, err
+		}
+		states[i] = t
+	}
+	return states, binary, nil
+}
+
+// bodyErrStatus distinguishes an oversized body (413) from a
+// malformed one (400).
+func bodyErrStatus(err error) int {
+	var mbe *http.MaxBytesError
+	if errors.As(err, &mbe) {
+		return http.StatusRequestEntityTooLarge
+	}
+	return http.StatusBadRequest
+}
+
+// statusFor maps serving errors to HTTP statuses: validation failures
+// are the client's fault, a closed batcher means the server is
+// draining for shutdown.
+func statusFor(err error) int {
+	switch {
+	case errors.Is(err, core.ErrBadWindow), errors.Is(err, core.ErrShapeMismatch):
+		return http.StatusBadRequest
+	case errors.Is(err, core.ErrBatcherClosed), errors.Is(err, core.ErrWorldBusy):
+		// Draining for shutdown, or a bound-world engine already
+		// serving its one live session: retryable capacity conditions.
+		return http.StatusServiceUnavailable
+	case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
+		return http.StatusRequestTimeout
+	}
+	return http.StatusInternalServerError
+}
+
+func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST only", http.StatusMethodNotAllowed)
+		return
+	}
+	states, binary, err := decodeStates(w, r)
+	if err != nil {
+		http.Error(w, err.Error(), bodyErrStatus(err))
+		return
+	}
+	frame, err := s.bat.Predict(r.Context(), states...)
+	if err != nil {
+		http.Error(w, err.Error(), statusFor(err))
+		return
+	}
+	if binary {
+		w.Header().Set("Content-Type", ContentTypeGob)
+		if err := gob.NewEncoder(w).Encode(frame); err != nil {
+			return // mid-body; the client sees the truncation
+		}
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	_ = enc.Encode(NewTensorJSON(frame))
+}
+
+func (s *Server) handleRollout(w http.ResponseWriter, r *http.Request) {
+	steps := 1
+	if v := r.URL.Query().Get("steps"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n < 1 {
+			http.Error(w, fmt.Sprintf("serve: bad steps %q", v), http.StatusBadRequest)
+			return
+		}
+		steps = n
+	}
+	if steps > s.maxSteps {
+		http.Error(w, fmt.Sprintf("serve: steps %d exceeds cap %d", steps, s.maxSteps), http.StatusBadRequest)
+		return
+	}
+	var states []*tensor.Tensor
+	binary := false
+	switch r.Method {
+	case http.MethodGet:
+		if len(s.initials) == 0 {
+			http.Error(w, "serve: GET rollout needs a server-side initial state (-init); POST a history instead", http.StatusBadRequest)
+			return
+		}
+		states = s.initials
+		binary = r.Header.Get("Accept") == ContentTypeGob
+	case http.MethodPost:
+		var err error
+		states, binary, err = decodeStates(w, r)
+		if err != nil {
+			http.Error(w, err.Error(), bodyErrStatus(err))
+			return
+		}
+	default:
+		http.Error(w, "GET or POST only", http.StatusMethodNotAllowed)
+		return
+	}
+
+	ctx := r.Context()
+	ses, err := s.eng.NewSession(ctx, states...)
+	if err != nil {
+		http.Error(w, err.Error(), statusFor(err))
+		return
+	}
+	defer ses.Close()
+
+	// From here on the status line is committed: stream one frame per
+	// chunk, flushing each so slow consumers see frames as they are
+	// produced, and report any mid-rollout failure as a final
+	// in-stream record.
+	flusher, _ := w.(http.Flusher)
+	var writeFrame func(f RolloutFrame) error
+	if binary {
+		w.Header().Set("Content-Type", ContentTypeGob)
+		enc := gob.NewEncoder(w)
+		writeFrame = func(f RolloutFrame) error { return enc.Encode(f) }
+	} else {
+		w.Header().Set("Content-Type", "application/x-ndjson")
+		enc := json.NewEncoder(w)
+		writeFrame = func(f RolloutFrame) error { return enc.Encode(f) }
+	}
+	err = ses.Run(ctx, steps, func(k int, frame *tensor.Tensor) error {
+		fj := NewTensorJSON(frame)
+		if err := writeFrame(RolloutFrame{Step: k, Frame: &fj}); err != nil {
+			return err
+		}
+		if flusher != nil {
+			flusher.Flush()
+		}
+		return nil
+	})
+	if err != nil {
+		_ = writeFrame(RolloutFrame{Step: -1, Error: err.Error()})
+	}
+}

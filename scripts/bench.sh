@@ -3,8 +3,10 @@
 # snapshot of the convolution engine (GEMM fast path vs naive
 # reference), the per-layer Table-I costs, the serving API's
 # concurrent-session rollout throughput (1 vs 4 sessions over one
-# Engine; the steps_per_s metric), and the halo-exchange schedule ×
-# transport matrix ({mem,tcp} × {blocking,overlap} rollout steps/s).
+# Engine; the steps_per_s metric), the halo-exchange schedule ×
+# transport matrix ({mem,tcp} × {blocking,overlap} rollout steps/s),
+# and the micro-batched serving throughput (unbatched Predict vs
+# Batcher at batch 1/4/8/16; requests_per_s).
 # Run from anywhere:
 #
 #   scripts/bench.sh                # writes BENCH_baseline.json
@@ -16,7 +18,7 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 
 OUT="${1:-BENCH_baseline.json}"
-BENCH="${BENCH:-ConvGEMMvsNaive|ConvGEMMWorkers|Table1_LayerForwardBackward|SessionConcurrentRollout|HaloOverlapVsBlocking}"
+BENCH="${BENCH:-ConvGEMMvsNaive|ConvGEMMWorkers|Table1_LayerForwardBackward|SessionConcurrentRollout|HaloOverlapVsBlocking|BatcherThroughput}"
 BENCHTIME="${BENCHTIME:-10x}"
 
 RAW="$(mktemp)"

@@ -1,0 +1,58 @@
+#!/usr/bin/env bash
+# Closed-loop load test for cmd/serve's /v1/predict: C concurrent curl
+# workers each fire predictions back to back for D seconds; reports
+# aggregate requests/s. Pair it with the server's exit stats (mean
+# micro-batch fill) to see the coalescer at work:
+#
+#   go run ./cmd/serve -ckpt ckpt -addr 127.0.0.1:8080 &
+#   scripts/loadtest.sh http://127.0.0.1:8080 16 10
+#
+# Usage: scripts/loadtest.sh BASE_URL [CONCURRENCY] [SECONDS] [C H W]
+# The state shape (default 4 128 128) must match the served grid; the
+# payload is a synthetic deterministic state, which is fine for
+# throughput measurement (the engine does identical work for any
+# values).
+set -euo pipefail
+
+BASE="${1:?usage: loadtest.sh BASE_URL [CONCURRENCY] [SECONDS] [C H W]}"
+WORKERS="${2:-16}"
+SECONDS_RUN="${3:-10}"
+C="${4:-4}"
+H="${5:-128}"
+W="${6:-128}"
+
+TMP="$(mktemp -d)"
+trap 'rm -rf "$TMP"' EXIT
+
+python3 - "$TMP/req.json" "$C" "$H" "$W" <<'EOF'
+import json, sys
+out, c, h, w = sys.argv[1], *map(int, sys.argv[2:5])
+n = c * h * w
+# Deterministic non-trivial values; magnitude is irrelevant to cost.
+data = [((i * 2654435761) % 1000) / 1000.0 for i in range(n)]
+json.dump({"states": [{"shape": [c, h, w], "data": data}]}, open(out, "w"))
+EOF
+
+curl -fsS "$BASE/healthz" >/dev/null || { echo "server at $BASE not healthy"; exit 1; }
+
+echo "loadtest: $WORKERS workers × ${SECONDS_RUN}s against $BASE (state ${C}x${H}x${W})"
+END=$(( $(date +%s) + SECONDS_RUN ))
+for i in $(seq 1 "$WORKERS"); do
+	(
+		ok=0
+		while [ "$(date +%s)" -lt "$END" ]; do
+			if curl -fsS -o /dev/null -X POST -H 'Content-Type: application/json' \
+				--data-binary @"$TMP/req.json" "$BASE/v1/predict"; then
+				ok=$((ok + 1))
+			fi
+		done
+		echo "$ok" >"$TMP/count_$i"
+	) &
+done
+wait
+
+TOTAL=0
+for f in "$TMP"/count_*; do
+	TOTAL=$((TOTAL + $(cat "$f")))
+done
+echo "loadtest: $TOTAL requests in ${SECONDS_RUN}s = $(python3 -c "print(f'{$TOTAL/$SECONDS_RUN:.1f}')") req/s"
