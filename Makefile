@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test vet fmt race bench bench-smoke smoke smoke-tcp smoke-serve ci
+.PHONY: build test vet fmt race bench bench-smoke smoke smoke-tcp smoke-serve smoke-swap ci
 
 build:
 	$(GO) build ./...
@@ -75,4 +75,12 @@ smoke-tcp:
 smoke-serve:
 	scripts/smoke_serve.sh
 
-ci: build fmt vet test race bench-smoke smoke smoke-tcp smoke-serve
+# Hot-swap smoke: train two models as versioned artifacts, serve the
+# first, drive sustained concurrent /v2 predict load, atomically swap
+# to the second mid-load, and assert zero failed requests, no
+# mixed-version responses, post-swap outputs bit-matching the new
+# model, and a clean SIGTERM drain (scripts/smoke_swap.sh).
+smoke-swap:
+	scripts/smoke_swap.sh
+
+ci: build fmt vet test race bench-smoke smoke smoke-tcp smoke-serve smoke-swap

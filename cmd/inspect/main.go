@@ -1,23 +1,32 @@
-// Command inspect summarizes a dataset produced by cmd/datagen:
+// Command inspect summarizes a dataset produced by cmd/datagen —
 // per-channel value ranges over time, acoustic energy decay, an ASCII
-// rendering of any snapshot, and optional PGM/PPM image export of the
-// physical fields.
+// rendering of any snapshot, and optional PGM/PPM image export — or,
+// with -ckpt, a model artifact directory: it prints the manifest
+// (name, version, format, partition, digests), verifies every payload
+// against its SHA-256, and with -migrate upgrades a legacy bare
+// rank<N>.gob directory to the versioned artifact format in place.
 //
 // Usage:
 //
 //	inspect -data data.gob
 //	inspect -data data.gob -snapshot 100 -channel pressure -ppm out.ppm
+//	inspect -ckpt ckpt
+//	inspect -ckpt ckpt -migrate -model-name prod -model-version v2
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"io"
 	"log"
 	"os"
+	"path/filepath"
 
+	"repro/internal/core"
 	"repro/internal/dataset"
 	"repro/internal/grid"
+	"repro/internal/model"
 	"repro/internal/stats"
 	"repro/internal/tensor"
 	"repro/internal/viz"
@@ -34,8 +43,17 @@ func main() {
 		pgmPath  = flag.String("pgm", "", "write the rendered field as a PGM image")
 		ppmPath  = flag.String("ppm", "", "write the rendered field as a diverging-colormap PPM image")
 		every    = flag.Int("every", 0, "print range rows every N snapshots (0 = auto)")
+		ckptDir  = flag.String("ckpt", "", "model artifact (or legacy checkpoint) directory to inspect instead of a dataset")
+		migrate  = flag.Bool("migrate", false, "with -ckpt: upgrade a legacy rank<N>.gob directory to the versioned artifact format (writes manifest.json)")
+		mName    = flag.String("model-name", "", "with -migrate: model name for the new manifest (default: directory base name)")
+		mVersion = flag.String("model-version", "", "with -migrate: model version for the new manifest (default: v1)")
 	)
 	flag.Parse()
+
+	if *ckptDir != "" {
+		inspectModel(*ckptDir, *migrate, *mName, *mVersion)
+		return
+	}
 
 	ds, err := dataset.Load(*dataPath)
 	if err != nil {
@@ -103,6 +121,54 @@ func main() {
 		}
 		fmt.Printf("wrote %s\n", *ppmPath)
 	}
+}
+
+// inspectModel prints (and optionally migrates) a model directory.
+func inspectModel(dir string, migrate bool, name, version string) {
+	if migrate {
+		if name == "" {
+			name = filepath.Base(filepath.Clean(dir))
+		}
+		man, err := model.Migrate(dir, name, version)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("migrated %s to artifact format %d (model %s@%s, %d payloads)\n",
+			dir, man.FormatVersion, man.Name, man.Version, len(man.Payloads))
+	}
+	man, err := model.ReadManifest(dir)
+	switch {
+	case err == nil:
+		fmt.Printf("artifact %s: model %s@%s (format %d, created %s)\n",
+			dir, man.Name, man.Version, man.FormatVersion, man.CreatedAt.Format("2006-01-02 15:04:05 MST"))
+		fmt.Printf("  partition: %dx%d ranks on %dx%d grid, strategy %v, window %d\n",
+			man.Px, man.Py, man.Nx, man.Ny, man.Config.Strategy, max(man.Window, 1))
+		tbl := stats.NewTable("payloads", "rank", "file", "bytes", "sha256")
+		for _, p := range man.Payloads {
+			sum := p.SHA256
+			if len(sum) > 16 {
+				sum = sum[:16] + "…"
+			}
+			tbl.Add(fmt.Sprint(p.Rank), p.File, fmt.Sprint(p.Size), sum)
+		}
+		fmt.Print(tbl.String())
+		if err := man.Verify(dir); err != nil {
+			log.Fatalf("digest verification FAILED: %v", err)
+		}
+		fmt.Println("all payload digests verified")
+	case errors.Is(err, model.ErrNoManifest):
+		fmt.Printf("%s: legacy layout (no %s) — pass -migrate to upgrade\n", dir, model.ManifestName)
+	default:
+		// A manifest exists but is unreadable (corrupt JSON, future
+		// format, bad metadata): -migrate cannot help here.
+		log.Fatal(err)
+	}
+	// Either way, prove the directory actually loads as an ensemble.
+	e, _, err := core.OpenModel(dir)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("loads OK: %d rank model(s), %d layers each\n", len(e.Models), len(e.Models[0].Layers()))
 }
 
 func writeImage(path string, f *tensor.Tensor, render func(w io.Writer, f *tensor.Tensor) error) error {

@@ -1,30 +1,47 @@
-// Command serve exposes a trained ensemble over HTTP: one-step
-// prediction behind the micro-batching request coalescer
-// (core.Batcher) and streaming rollout sessions, the serving topology
-// DESIGN.md §9 describes.
+// Command serve exposes trained models over HTTP: one-step prediction
+// behind per-model micro-batching request coalescers (core.Batcher),
+// streaming rollout sessions, and the /v2 multi-model registry
+// surface with zero-downtime hot swap (DESIGN.md §9–§10).
 //
 // Usage:
 //
 //	serve -ckpt ckpt -addr 127.0.0.1:8080 -max-batch 8 -max-delay 2ms
+//	serve -ckpt ckpt -model prod          # publish under an explicit name
 //
 // Endpoints:
 //
-//	GET  /healthz              liveness probe
-//	POST /v1/predict           one-step prediction; body {"states":[{"shape":[c,h,w],"data":[...]}]}
-//	                           (or gob with Content-Type application/x-gob);
-//	                           concurrent requests are coalesced into micro-batches
-//	POST /v1/rollout?steps=N   streaming rollout from the POSTed history
-//	                           (one JSON frame per chunk)
-//	GET  /v1/rollout?steps=N   the same, from the -init dataset's opening history
+//	GET  /healthz                       per-model readiness + registry state (JSON)
+//	GET  /metrics                       per-model request/batch counters, swap count
+//	POST /v1/predict                    one-step prediction on the default model;
+//	                                    body {"states":[{"shape":[c,h,w],"data":[...]}]}
+//	                                    (or gob with Content-Type application/x-gob);
+//	                                    concurrent requests are coalesced into micro-batches
+//	POST /v1/rollout?steps=N            streaming rollout from the POSTed history
+//	                                    (one JSON frame per chunk)
+//	GET  /v1/rollout?steps=N            the same, from the -init dataset's opening history
+//	GET  /v2/models                     list published models
+//	POST /v2/models/{name}/predict      per-model predict (v1 wire format)
+//	GET|POST /v2/models/{name}/rollout  per-model rollout (v1 wire format)
+//	POST /v2/admin/load                 {"name","version","dir"}: publish another model
+//	POST /v2/admin/swap                 {"name","version","dir"}: hot-swap a live model —
+//	                                    new requests route to the new version immediately,
+//	                                    in-flight ones drain on the old
+//	POST /v2/admin/unload               {"name"}: retire a model
+//
+// The checkpoint directory may be a versioned model artifact
+// (manifest.json + digest-checked payloads, written by cmd/train) or
+// a legacy directory of bare rank<N>.gob files; the model's name and
+// version default to the manifest's (override with -model/-version).
 //
 // -addr with port 0 picks a free port; the chosen address is printed
 // as "serving on host:port" once the listener is up, which is what
-// scripts/smoke_serve.sh and scripts/loadtest.sh wait for.
+// scripts/smoke_serve.sh, scripts/smoke_swap.sh and
+// scripts/loadtest.sh wait for.
 //
 // On SIGTERM/SIGINT the server drains gracefully: the listener stops
 // accepting, in-flight requests (including open rollout streams) get
-// -drain-timeout to finish, and the batcher flushes every queued
-// prediction before the process exits.
+// -drain-timeout to finish, and every model's batcher flushes its
+// queued predictions before the process exits.
 package main
 
 import (
@@ -53,12 +70,14 @@ func main() {
 
 	var (
 		addr         = flag.String("addr", "127.0.0.1:8080", "listen address (port 0 = pick a free port)")
-		ckptDir      = flag.String("ckpt", "ckpt", "checkpoint directory from cmd/train")
-		initPath     = flag.String("init", "", "dataset (.gob) whose opening snapshots seed GET /v1/rollout")
+		ckptDir      = flag.String("ckpt", "ckpt", "model artifact (or legacy checkpoint) directory from cmd/train")
+		modelName    = flag.String("model", "", "name to publish the boot model under (default: the artifact manifest's name, or \"default\")")
+		modelVersion = flag.String("version", "", "version label for the boot model (default: the manifest's)")
+		initPath     = flag.String("init", "", "dataset (.gob) whose opening snapshots seed GET rollouts")
 		workers      = flag.Int("workers", 0, "serving parallelism: ranks fan out per micro-batch and convolution kernels tile-parallelize (0 = single-threaded; results are bit-identical for any value)")
 		backend      = flag.String("conv", "gemm", "convolution engine: gemm | naive")
 		exchange     = flag.String("exchange", "blocking", "halo exchange schedule for rollout sessions: blocking | overlap")
-		maxBatch     = flag.Int("max-batch", 8, "micro-batch size cap for /v1/predict coalescing")
+		maxBatch     = flag.Int("max-batch", 8, "micro-batch size cap for predict coalescing (per model)")
 		maxDelay     = flag.Duration("max-delay", 2*time.Millisecond, "max wait for predict batchmates before dispatching a partial batch")
 		maxSteps     = flag.Int("max-steps", 10000, "cap on the rollout steps query parameter")
 		drainTimeout = flag.Duration("drain-timeout", 10*time.Second, "grace period for in-flight requests on shutdown")
@@ -79,12 +98,14 @@ func main() {
 		log.Fatal(err)
 	}
 
-	e, err := core.LoadEnsemble(*ckptDir)
+	e, man, err := core.OpenModel(*ckptDir)
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("ensemble: %dx%d ranks on %dx%d grid, strategy %v, window %d\n",
-		e.Partition.Px, e.Partition.Py, e.Partition.Nx, e.Partition.Ny, e.ModelCfg.Strategy, max(e.Window, 1))
+	name, version := serve.ArtifactIdentity(man, serve.DefaultModelName, *modelName, *modelVersion)
+	fmt.Printf("model %s@%s: %dx%d ranks on %dx%d grid, strategy %v, window %d\n",
+		name, version, e.Partition.Px, e.Partition.Py, e.Partition.Nx, e.Partition.Ny,
+		e.ModelCfg.Strategy, max(e.Window, 1))
 
 	engOpts := []core.EngineOption{
 		core.WithConvBackend(convBackend),
@@ -102,6 +123,8 @@ func main() {
 		MaxBatch:        *maxBatch,
 		MaxDelay:        *maxDelay,
 		MaxRolloutSteps: *maxSteps,
+		DefaultModel:    name,
+		EngineOptions:   engOpts,
 	}
 	if *initPath != "" {
 		ds, err := dataset.Load(*initPath)
@@ -119,8 +142,11 @@ func main() {
 		}
 		cfg.Initials = append([]*tensor.Tensor(nil), nds.Snapshots[:window]...)
 	}
-	srv, err := serve.New(eng, cfg)
+	srv, err := serve.NewMulti(nil, cfg)
 	if err != nil {
+		log.Fatal(err)
+	}
+	if err := srv.LoadEngine(name, version, eng); err != nil {
 		log.Fatal(err)
 	}
 
@@ -142,20 +168,25 @@ func main() {
 	case <-ctx.Done():
 	}
 	// Graceful drain: stop accepting, let in-flight handlers finish,
-	// then flush the batcher's queue.
+	// then flush every model's batcher queue and drain the registry.
 	fmt.Println("draining…")
 	shutdownCtx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
 	defer cancel()
 	if err := hs.Shutdown(shutdownCtx); err != nil {
-		log.Printf("shutdown: %v", err)
+		// The grace period expired with streams still open. Force-close
+		// the remaining connections so their request contexts cancel
+		// (sessions stop within one step) — otherwise srv.Close would
+		// wait on them indefinitely.
+		log.Printf("shutdown: %v (force-closing remaining connections)", err)
+		_ = hs.Close()
 	}
+	stats := srv.Stats() // snapshot before Close tears the models down
 	if err := srv.Close(); err != nil {
-		log.Printf("batcher drain: %v", err)
+		log.Printf("registry drain: %v", err)
 	}
 	if err := <-serveErr; err != nil && !errors.Is(err, http.ErrServerClosed) {
 		log.Fatal(err)
 	}
-	s := srv.Batcher().Stats()
-	fmt.Printf("served %d predictions in %d micro-batches (mean fill %.2f)\n",
-		s.Requests, s.Batches, s.MeanFill())
+	fmt.Printf("served %d predictions in %d micro-batches (mean fill %.2f), %d swaps\n",
+		stats.Requests, stats.Batches, stats.MeanFill(), srv.Registry().Swaps())
 }

@@ -55,7 +55,9 @@ func main() {
 		trainFrac  = flag.Float64("trainfrac", 2.0/3.0, "fraction of snapshots used for training (paper: 1000/1500)")
 		seed       = flag.Int64("seed", 1, "random seed")
 		window     = flag.Int("window", 1, "temporal window: stack this many consecutive snapshots as network input (paper §V future work)")
-		outDir     = flag.String("out", "ckpt", "checkpoint output directory")
+		outDir     = flag.String("out", "ckpt", "model artifact output directory")
+		mName      = flag.String("model-name", "", "model name recorded in the artifact manifest (default: the output directory's base name)")
+		mVersion   = flag.String("model-version", "", "model version recorded in the artifact manifest (default: v1)")
 		concurrent = flag.Bool("concurrent", false, "execute ranks concurrently (goroutines) instead of critical-path timing mode")
 		workers    = flag.Int("workers", 1, "intra-layer parallelism of the convolution kernels (results are bit-identical for any value)")
 		backend    = flag.String("conv", "gemm", "convolution engine: gemm (im2col fast path) | naive (reference loops)")
@@ -190,10 +192,21 @@ func main() {
 			fmt.Printf("critical path %.3fs, total compute %.3fs, speedup %.2fx, training comm: %d msgs\n",
 				res.CriticalPathSeconds, res.TotalComputeSeconds, res.Speedup(), res.TrainCommStats.MessagesSent)
 		}
-		if err := saveEnsemble(res, *outDir); err != nil {
-			log.Fatal(err)
+		if world != nil {
+			// A multi-process job writes only this process's rank files
+			// into the shared directory — no single process holds every
+			// payload, so the manifest is written afterwards with
+			// `inspect -ckpt <dir> -migrate` once all ranks have landed.
+			if err := saveRankCheckpoints(res, *outDir); err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("rank checkpoints written to %s/ (run 'inspect -ckpt %s -migrate' after all ranks finish to add the manifest)\n", *outDir, *outDir)
+		} else {
+			if err := core.SaveModel(res.Ensemble(), *outDir, *mName, *mVersion); err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("model artifact written to %s/ (manifest + %d rank payloads)\n", *outDir, len(res.Ranks))
 		}
-		fmt.Printf("checkpoints written to %s/\n", *outDir)
 
 	case "sequential":
 		fmt.Printf("sequential whole-domain training, %d epochs\n", *epochs)
@@ -210,13 +223,19 @@ func main() {
 		ck := model.Snapshot(cfg.Model, rr.Model)
 		ck.Px, ck.Py = 1, 1
 		ck.Nx, ck.Ny = ds.Grid.Nx, ds.Grid.Ny
-		if err := os.MkdirAll(*outDir, 0o755); err != nil {
+		ck.Window = cfg.Window()
+		name := *mName
+		if name == "" {
+			name = filepath.Base(filepath.Clean(*outDir))
+		}
+		man, err := model.NewManifest(name, *mVersion, []*model.Checkpoint{ck})
+		if err != nil {
 			log.Fatal(err)
 		}
-		if err := ck.Save(filepath.Join(*outDir, "rank0.gob")); err != nil {
+		if err := model.WriteArtifact(*outDir, man, []*model.Checkpoint{ck}); err != nil {
 			log.Fatal(err)
 		}
-		fmt.Printf("checkpoint written to %s/rank0.gob\n", *outDir)
+		fmt.Printf("model artifact written to %s/ (manifest + rank0.gob)\n", *outDir)
 
 	case "dataparallel":
 		fmt.Printf("data-parallel baseline (weight averaging) on %d replicas, %d epochs\n", *ranks, *epochs)
@@ -240,11 +259,12 @@ func main() {
 	}
 }
 
-// saveEnsemble writes one checkpoint per locally trained rank plus
-// nothing else; the checkpoints carry the partition metadata inference
-// needs. In a multi-process job each process contributes its own
-// rank's file to the shared directory.
-func saveEnsemble(res *core.ParallelResult, dir string) error {
+// saveRankCheckpoints writes one checkpoint per locally trained rank
+// plus nothing else; the checkpoints carry the partition metadata
+// inference needs. In a multi-process job each process contributes its
+// own rank's file to the shared directory (legacy layout — migrate to
+// an artifact manifest afterwards with cmd/inspect).
+func saveRankCheckpoints(res *core.ParallelResult, dir string) error {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return err
 	}

@@ -27,13 +27,43 @@
 // transparently coalesces concurrent Predict callers into such
 // micro-batches, racing the batch-size trigger against the delay
 // trigger while preserving per-request cancellation and error
-// isolation. cmd/serve exposes the whole surface over HTTP —
+// isolation.
+//
+// Trained models ship as versioned artifacts and serve through a
+// registry (DESIGN.md §10). An artifact is one directory per model
+// version: manifest.json (format version, model name/version,
+// partition + window + architecture metadata, per-rank SHA-256
+// digests) plus the per-rank weight payloads, written atomically —
+// temp dir + rename, fsync'd payloads with checked Close — so a
+// crash or full disk never leaves a half-written model
+// (model.WriteArtifact, core.SaveModel; core.OpenModel digest-checks
+// every payload before deserializing weights, still reads legacy
+// bare rank<N>.gob directories, and model.Migrate / `inspect -ckpt
+// dir -migrate` upgrades them in place). core.Registry maps model
+// name → refcounted engine Handle with Load/Get/Swap/Unload/Close:
+// Swap atomically replaces the published version — new Gets see the
+// new engine immediately while in-flight PredictBatch calls and open
+// Sessions finish on the old one, which drains (runs its OnDrain
+// hooks, closes Drained) only when its last reference is released.
+// Registry errors are named too: core.ErrModelNotFound,
+// core.ErrModelExists, core.ErrRegistryClosed.
+//
+// cmd/serve exposes the whole surface over HTTP: the /v1 routes —
 // POST /v1/predict (JSON or gob tensors, coalesced behind the
 // batcher) and GET|POST /v1/rollout (chunked streaming of session
-// frames) — with graceful drain on SIGTERM; internal/serve holds the
-// handler plus the typed Client, and scripts/loadtest.sh drives it.
-// See the package examples (Example_enginePredict, Example_batcher,
-// Example_httpClient) for runnable end-to-end snippets.
+// frames) — delegate to the default model unchanged, while /v2 adds
+// the multi-model surface: GET /v2/models, per-model
+// /v2/models/{name}/predict|rollout routed through per-model
+// batchers, POST /v2/admin/load|swap|unload for zero-downtime
+// rollouts from artifact directories, structured JSON error
+// envelopes, /metrics counters (per-model requests, batch fill, swap
+// count) and a /healthz that reports per-model readiness. Graceful
+// drain on SIGTERM; internal/serve holds the handler plus the typed
+// Client, scripts/loadtest.sh drives throughput, and
+// scripts/smoke_swap.sh proves a mid-load hot swap drops zero
+// requests. See the package examples (Example_enginePredict,
+// Example_batcher, Example_httpClient, Example_registryHotSwap) for
+// runnable end-to-end snippets.
 //
 // The message-passing runtime is transport-agnostic (DESIGN.md §8):
 // the same World/Comm semantics (non-overtaking tagged p2p,
@@ -61,7 +91,8 @@
 //     interior/boundary halo tile split behind the overlapped
 //     exchange (DESIGN.md §8)
 //   - internal/serve  — HTTP serving front end (predict + streaming
-//     rollout handlers, typed client) over Engine/Batcher (§9)
+//     rollout handlers, /v2 registry surface + admin hot swap, typed
+//     client) over Engine/Batcher/Registry (§9–§10)
 //   - internal/opt    — SGD / momentum / RMSProp / ADAM (paper Eq. 3–6)
 //   - internal/loss   — MSE / MAE / MAPE (paper Eq. 7) / SMAPE / Huber
 //   - internal/mpi    — message-passing runtime with MPI semantics
@@ -72,7 +103,8 @@
 //     standing in for Ateles (paper Eq. 8, §IV-A)
 //   - internal/decomp — the Fig. 2 domain decomposition
 //   - internal/dataset, internal/model, internal/stats — data pipeline,
-//     Table-I network builder, evaluation metrics
+//     Table-I network builder, versioned model artifacts (§10),
+//     evaluation metrics
 //   - internal/autodiff — scalar reverse-mode AD, the oracle that
 //     cross-validates every hand-written backward pass
 //   - internal/viz — ASCII/PGM/PPM field rendering

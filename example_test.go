@@ -159,3 +159,75 @@ func Example_httpClient() {
 	// predict: [4 16 16]
 	// rollout frames streamed: 2
 }
+
+// Example_registryHotSwap publishes a model in a core.Registry,
+// hot-swaps it for a new version while an old-version session is
+// still open, and shows the zero-downtime contract: new requests see
+// the new version immediately, the in-flight session finishes on the
+// old weights, and the old version drains only after its last
+// reference is released (DESIGN.md §10).
+func Example_registryHotSwap() {
+	build := func() *core.Engine {
+		ens, err := untrainedEnsemble(16, 2, 2)
+		if err != nil {
+			panic(err)
+		}
+		eng, err := core.NewEngine(ens)
+		if err != nil {
+			panic(err)
+		}
+		return eng
+	}
+	reg := core.NewRegistry()
+	if _, err := reg.Load("surrogate", "v1", build()); err != nil {
+		panic(err)
+	}
+
+	ctx := context.Background()
+	state := tensor.Normal(tensor.NewRNG(4), 0, 1, grid.NumChannels, 16, 16)
+
+	// A long-lived session pins v1 across the swap.
+	h1, err := reg.Get("surrogate")
+	if err != nil {
+		panic(err)
+	}
+	ses, err := h1.Engine().NewSession(ctx, state)
+	if err != nil {
+		panic(err)
+	}
+
+	// Publish v2: new Gets route to it immediately.
+	if _, err := reg.Swap("surrogate", "v2", build()); err != nil {
+		panic(err)
+	}
+	h2, err := reg.Get("surrogate")
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("new requests see:", h2.Version())
+	h2.Release()
+
+	// The old session still runs on its own version, undisturbed.
+	if _, err := ses.Step(ctx); err != nil {
+		panic(err)
+	}
+	fmt.Println("in-flight session still on:", h1.Version())
+	drained := func() bool {
+		select {
+		case <-h1.Drained():
+			return true
+		default:
+			return false
+		}
+	}
+	fmt.Println("v1 drained while referenced:", drained())
+	ses.Close()
+	h1.Release()
+	fmt.Println("v1 drained after release:", drained())
+	reg.Close()
+	// Output:
+	// new requests see: v2
+	// in-flight session still on: v1
+	// v1 drained while referenced: false
+	// v1 drained after release: true
+}

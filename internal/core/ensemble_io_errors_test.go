@@ -1,6 +1,8 @@
 package core
 
 import (
+	"errors"
+	"fmt"
 	"os"
 	"path/filepath"
 	"strings"
@@ -113,5 +115,90 @@ func TestLoadEnsemblePartitionMismatch(t *testing.T) {
 	}
 	if !strings.Contains(err.Error(), "inconsistent") {
 		t.Fatalf("error does not explain the inconsistency: %v", err)
+	}
+}
+
+func TestLoadEnsembleDigestMismatchIsNamed(t *testing.T) {
+	// SaveModel writes digest-bearing manifests: a same-size bit flip
+	// in one payload must surface as ErrDigestMismatch naming the file.
+	_, e := trainTinyEnsemble(t, model.ZeroPad, 2, 1)
+	dir := t.TempDir()
+	if err := SaveModel(e, dir, "m", "v1"); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, "rank1.gob")
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)/2] ^= 0xff
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, err = LoadEnsemble(dir)
+	if !errors.Is(err, model.ErrDigestMismatch) {
+		t.Fatalf("corrupted payload: got %v, want model.ErrDigestMismatch", err)
+	}
+	if !strings.Contains(err.Error(), "rank1.gob") {
+		t.Fatalf("error does not name the corrupted file: %v", err)
+	}
+}
+
+func TestLoadEnsembleFutureFormatRefused(t *testing.T) {
+	_, e := trainTinyEnsemble(t, model.ZeroPad, 2, 1)
+	dir := t.TempDir()
+	if err := SaveModel(e, dir, "m", "v1"); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, model.ManifestName)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bumped := strings.Replace(string(data),
+		fmt.Sprintf("\"format_version\": %d", model.ArtifactFormatVersion),
+		"\"format_version\": 999", 1)
+	if bumped == string(data) {
+		t.Fatal("manifest format_version field not found to bump")
+	}
+	if err := os.WriteFile(path, []byte(bumped), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadEnsemble(dir); !errors.Is(err, model.ErrFutureFormat) {
+		t.Fatalf("future format: got %v, want model.ErrFutureFormat", err)
+	}
+}
+
+func TestLoadEnsembleLegacyDirAndMigrate(t *testing.T) {
+	// A pre-manifest directory (what older cmd/train wrote, and what
+	// each process of a TCP training job still writes) loads through
+	// the compatibility reader; Migrate upgrades it in place.
+	_, e := trainTinyEnsemble(t, model.ZeroPad, 2, 2)
+	dir := t.TempDir()
+	if err := SaveModel(e, dir, "m", "v1"); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Remove(filepath.Join(dir, model.ManifestName)); err != nil {
+		t.Fatal(err)
+	}
+	got, man, err := OpenModel(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if man != nil {
+		t.Fatal("legacy dir returned a manifest")
+	}
+	if len(got.Models) != 4 {
+		t.Fatalf("legacy load produced %d models", len(got.Models))
+	}
+	if _, err := model.Migrate(dir, "m", "v2"); err != nil {
+		t.Fatal(err)
+	}
+	_, man, err = OpenModel(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if man == nil || man.Version != "v2" {
+		t.Fatalf("migrated dir manifest: %+v", man)
 	}
 }

@@ -25,4 +25,15 @@ var (
 
 	// ErrBatcherClosed reports a Predict call on a Batcher after Close.
 	ErrBatcherClosed = errors.New("batcher is closed")
+
+	// ErrModelNotFound reports a Registry Get/Swap/Unload on a name no
+	// model is loaded under.
+	ErrModelNotFound = errors.New("no model loaded under this name")
+
+	// ErrModelExists reports a Registry Load on a name that already
+	// serves a model (use Swap to replace it).
+	ErrModelExists = errors.New("a model is already loaded under this name (use Swap)")
+
+	// ErrRegistryClosed reports any Registry operation after Close.
+	ErrRegistryClosed = errors.New("registry is closed")
 )

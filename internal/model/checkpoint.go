@@ -4,6 +4,7 @@ import (
 	"encoding/gob"
 	"fmt"
 	"os"
+	"path/filepath"
 
 	"repro/internal/nn"
 	"repro/internal/tensor"
@@ -26,14 +27,38 @@ type Checkpoint struct {
 	Window int
 }
 
-// Save writes the checkpoint to path in gob format.
-func (ck *Checkpoint) Save(path string) error {
-	f, err := os.Create(path)
-	if err != nil {
-		return fmt.Errorf("model: checkpoint save: %w", err)
+// Save writes the checkpoint to path in gob format. The write is
+// atomic (temp file + rename) and durable (fsync before a checked
+// Close), so a full disk or a crash mid-save can never leave a
+// silently truncated checkpoint where a complete one is expected —
+// the write either fully replaces path or fails loudly.
+func (ck *Checkpoint) Save(path string) (err error) {
+	dir, base := filepath.Split(path)
+	if dir == "" {
+		dir = "."
 	}
-	defer f.Close()
+	f, err := os.CreateTemp(dir, base+".tmp-*")
+	if err != nil {
+		return fmt.Errorf("model: checkpoint save %s: %w", path, err)
+	}
+	tmp := f.Name()
+	defer func() {
+		if err != nil {
+			os.Remove(tmp)
+		}
+	}()
 	if err := gob.NewEncoder(f).Encode(ck); err != nil {
+		f.Close()
+		return fmt.Errorf("model: checkpoint save %s: %w", path, err)
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return fmt.Errorf("model: checkpoint save %s: sync: %w", path, err)
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("model: checkpoint save %s: close: %w", path, err)
+	}
+	if err := os.Rename(tmp, path); err != nil {
 		return fmt.Errorf("model: checkpoint save %s: %w", path, err)
 	}
 	return nil

@@ -66,11 +66,20 @@ func httpError(resp *http.Response) error {
 // micro-batches server-side; results are bit-identical to a local
 // Engine.Predict on the same ensemble.
 func (c *Client) Predict(ctx context.Context, states ...*tensor.Tensor) (*tensor.Tensor, error) {
+	return c.predictPath(ctx, "/v1/predict", states)
+}
+
+// PredictModel is Predict against a named model on the /v2 surface.
+func (c *Client) PredictModel(ctx context.Context, model string, states ...*tensor.Tensor) (*tensor.Tensor, error) {
+	return c.predictPath(ctx, "/v2/models/"+model+"/predict", states)
+}
+
+func (c *Client) predictPath(ctx context.Context, path string, states []*tensor.Tensor) (*tensor.Tensor, error) {
 	body, contentType, err := c.encodeBody(states)
 	if err != nil {
 		return nil, err
 	}
-	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.BaseURL+"/v1/predict", body)
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.BaseURL+path, body)
 	if err != nil {
 		return nil, err
 	}
@@ -103,7 +112,16 @@ func (c *Client) Predict(ctx context.Context, states ...*tensor.Tensor) (*tensor
 // history is POSTed. fn returning an error stops consuming (the
 // server notices the closed connection within one step).
 func (c *Client) Rollout(ctx context.Context, steps int, states []*tensor.Tensor, fn func(step int, frame *tensor.Tensor) error) error {
-	url := fmt.Sprintf("%s/v1/rollout?steps=%d", c.BaseURL, steps)
+	return c.rolloutPath(ctx, "/v1/rollout", steps, states, fn)
+}
+
+// RolloutModel is Rollout against a named model on the /v2 surface.
+func (c *Client) RolloutModel(ctx context.Context, model string, steps int, states []*tensor.Tensor, fn func(step int, frame *tensor.Tensor) error) error {
+	return c.rolloutPath(ctx, "/v2/models/"+model+"/rollout", steps, states, fn)
+}
+
+func (c *Client) rolloutPath(ctx context.Context, path string, steps int, states []*tensor.Tensor, fn func(step int, frame *tensor.Tensor) error) error {
+	url := fmt.Sprintf("%s%s?steps=%d", c.BaseURL, path, steps)
 	var req *http.Request
 	var err error
 	if states == nil {
@@ -175,6 +193,71 @@ func (c *Client) Rollout(ctx context.Context, steps int, states []*tensor.Tensor
 		}
 	}
 	return nil
+}
+
+// Models lists the server's published models (GET /v2/models).
+func (c *Client) Models(ctx context.Context) (*ModelsResponse, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.BaseURL+"/v2/models", nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := c.httpClient().Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, httpError(resp)
+	}
+	var out ModelsResponse
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		return nil, fmt.Errorf("serve: decoding models list: %w", err)
+	}
+	return &out, nil
+}
+
+// admin posts one /v2/admin operation and returns the resolved model
+// identity.
+func (c *Client) admin(ctx context.Context, op string, req AdminRequest) (*AdminResponse, error) {
+	var buf bytes.Buffer
+	if err := json.NewEncoder(&buf).Encode(req); err != nil {
+		return nil, err
+	}
+	hreq, err := http.NewRequestWithContext(ctx, http.MethodPost, c.BaseURL+"/v2/admin/"+op, &buf)
+	if err != nil {
+		return nil, err
+	}
+	hreq.Header.Set("Content-Type", "application/json")
+	resp, err := c.httpClient().Do(hreq)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, httpError(resp)
+	}
+	var out AdminResponse
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		return nil, fmt.Errorf("serve: decoding admin response: %w", err)
+	}
+	return &out, nil
+}
+
+// AdminLoad publishes the model artifact at dir under name (empty =
+// the manifest's name).
+func (c *Client) AdminLoad(ctx context.Context, name, version, dir string) (*AdminResponse, error) {
+	return c.admin(ctx, "load", AdminRequest{Name: name, Version: version, Dir: dir})
+}
+
+// AdminSwap hot-swaps the model published under name with the
+// artifact at dir; in-flight requests finish on the old version.
+func (c *Client) AdminSwap(ctx context.Context, name, version, dir string) (*AdminResponse, error) {
+	return c.admin(ctx, "swap", AdminRequest{Name: name, Version: version, Dir: dir})
+}
+
+// AdminUnload retires the model published under name.
+func (c *Client) AdminUnload(ctx context.Context, name string) (*AdminResponse, error) {
+	return c.admin(ctx, "unload", AdminRequest{Name: name})
 }
 
 // Healthy checks /healthz.

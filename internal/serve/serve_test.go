@@ -129,7 +129,7 @@ func TestPredictConcurrentCoalesced(t *testing.T) {
 			t.Fatalf("request %d differs from local Predict", i)
 		}
 	}
-	if s := srv.Batcher().Stats(); s.Requests != N {
+	if s := srv.Stats(); s.Requests != N {
 		t.Fatalf("batcher served %d of %d requests", s.Requests, N)
 	}
 }
