@@ -1,9 +1,13 @@
 # Single source of truth for the build/verify commands: CI
 # (.github/workflows/ci.yml) and humans run the identical targets.
+#
+# Toolchain: Go 1.24 — pinned identically in go.mod, every ci.yml job
+# and the go version recorded in BENCH_baseline.json, so benchdiff
+# deltas never measure a toolchain drift.
 
 GO ?= go
 
-.PHONY: build test vet fmt race bench bench-smoke smoke smoke-tcp smoke-serve smoke-swap ci
+.PHONY: build test vet fmt race bench bench-smoke bench-baseline bench-compare smoke smoke-tcp smoke-serve smoke-swap smoke-chaos ci
 
 build:
 	$(GO) build ./...
@@ -83,4 +87,19 @@ smoke-serve:
 smoke-swap:
 	scripts/smoke_swap.sh
 
-ci: build fmt vet test race bench-smoke smoke smoke-tcp smoke-serve smoke-swap
+# Chaos smoke: rollouts under seeded fault injection (DESIGN.md §11).
+# Delay/jitter on every link must stream byte-identical frames; a cut
+# link must fail stop with the request ID, rank and link named — both
+# in-process and across a 4-process mpirun TCP world. Also asserts the
+# /metrics latency histograms and access-log request tracing
+# (scripts/smoke_chaos.sh).
+smoke-chaos:
+	scripts/smoke_chaos.sh
+
+# Compare a fresh benchmark run against the committed baseline and
+# fail on throughput or allocation regressions (scripts/bench_compare.sh,
+# cmd/benchdiff). BENCH/BENCHTIME narrow the sweep.
+bench-compare:
+	scripts/bench_compare.sh
+
+ci: build fmt vet test race bench-smoke smoke smoke-tcp smoke-serve smoke-swap smoke-chaos

@@ -29,6 +29,7 @@ import (
 	"os"
 	"os/signal"
 	"strings"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/dataset"
@@ -57,6 +58,10 @@ func main() {
 		tcpRank   = flag.Int("rank", 0, "this process's rank in the tcp world")
 		worldSize = flag.Int("world-size", 0, "expected tcp world size (0 = len(peers); checked against -peers)")
 		peersFlag = flag.String("peers", "", "comma-separated host:port of every rank, in rank order (tcp transport)")
+
+		chaosSpec   = flag.String("chaos", "", "fault-injection rules, e.g. 'delay:*>*:d=2ms:p=0.5,drop:1>0:p=0.3' (kinds: delay|jitter|drop|dup|partition; testing only)")
+		chaosSeed   = flag.Int64("chaos-seed", 1, "seed for the deterministic chaos fault schedule")
+		chaosRecvTO = flag.Duration("chaos-recv-timeout", 5*time.Second, "receive deadline under chaos: a starved rank fails stop instead of hanging")
 	)
 	flag.Parse()
 
@@ -133,9 +138,21 @@ func main() {
 		core.WithConvBackend(convBackend),
 		core.WithExchangeMode(mode),
 	}
+	var chaos *mpi.ChaosPlan
+	if *chaosSpec != "" {
+		rules, err := mpi.ParseChaosRules(*chaosSpec)
+		if err != nil {
+			log.Fatal(err)
+		}
+		chaos = &mpi.ChaosPlan{Seed: *chaosSeed, RecvTimeout: *chaosRecvTO, Rules: rules}
+		fmt.Printf("chaos: %d rule(s), seed %d, recv timeout %v\n", len(rules), chaos.Seed, *chaosRecvTO)
+	}
 	root := true // does this process host rank 0 (score + print)?
 	switch *transport {
 	case "mem":
+		if chaos != nil {
+			engOpts = append(engOpts, core.WithChaos(*chaos))
+		}
 	case "tcp":
 		peers := strings.Split(*peersFlag, ",")
 		if *peersFlag == "" || len(peers) < 2 {
@@ -148,7 +165,11 @@ func main() {
 			log.Fatalf("tcp world of %d processes cannot host the checkpoint's %d ranks (one rank per process)",
 				len(peers), e.Partition.Ranks())
 		}
-		world, err := mpi.DialTCP(mpi.TCPConfig{Rank: *tcpRank, Peers: peers}, mpi.WithNetModel(nm))
+		tcpOpts := []mpi.Option{mpi.WithNetModel(nm)}
+		if chaos != nil {
+			tcpOpts = append(tcpOpts, mpi.WithChaos(*chaos))
+		}
+		world, err := mpi.DialTCP(mpi.TCPConfig{Rank: *tcpRank, Peers: peers}, tcpOpts...)
 		if err != nil {
 			log.Fatal(err)
 		}

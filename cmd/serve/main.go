@@ -59,6 +59,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/dataset"
+	"repro/internal/mpi"
 	"repro/internal/nn"
 	"repro/internal/serve"
 	"repro/internal/tensor"
@@ -81,6 +82,10 @@ func main() {
 		maxDelay     = flag.Duration("max-delay", 2*time.Millisecond, "max wait for predict batchmates before dispatching a partial batch")
 		maxSteps     = flag.Int("max-steps", 10000, "cap on the rollout steps query parameter")
 		drainTimeout = flag.Duration("drain-timeout", 10*time.Second, "grace period for in-flight requests on shutdown")
+		accessLog    = flag.Bool("access-log", false, "log one line per request (method, path, status, duration, request ID) plus rollout comm summaries to stderr")
+		chaosSpec    = flag.String("chaos", "", "fault-injection rules for session worlds, e.g. 'delay:*>*:d=2ms:p=0.5,drop:1>0:p=0.3' (kinds: delay|jitter|drop|dup|partition; testing only)")
+		chaosSeed    = flag.Int64("chaos-seed", 1, "seed for the deterministic chaos fault schedule")
+		chaosRecvTO  = flag.Duration("chaos-recv-timeout", 5*time.Second, "receive deadline under chaos: a starved rank fails stop instead of hanging")
 	)
 	flag.Parse()
 
@@ -114,6 +119,15 @@ func main() {
 	if *workers > 0 {
 		engOpts = append(engOpts, core.WithWorkers(*workers))
 	}
+	if *chaosSpec != "" {
+		rules, err := mpi.ParseChaosRules(*chaosSpec)
+		if err != nil {
+			log.Fatal(err)
+		}
+		plan := mpi.ChaosPlan{Seed: *chaosSeed, RecvTimeout: *chaosRecvTO, Rules: rules}
+		engOpts = append(engOpts, core.WithChaos(plan))
+		fmt.Printf("chaos: %d rule(s), seed %d, recv timeout %v\n", len(rules), plan.Seed, *chaosRecvTO)
+	}
 	eng, err := core.NewEngine(e, engOpts...)
 	if err != nil {
 		log.Fatal(err)
@@ -125,6 +139,9 @@ func main() {
 		MaxRolloutSteps: *maxSteps,
 		DefaultModel:    name,
 		EngineOptions:   engOpts,
+	}
+	if *accessLog {
+		cfg.AccessLog = log.New(os.Stderr, "access: ", 0)
 	}
 	if *initPath != "" {
 		ds, err := dataset.Load(*initPath)

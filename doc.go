@@ -65,6 +65,24 @@
 // Example_batcher, Example_httpClient, Example_registryHotSwap) for
 // runnable end-to-end snippets.
 //
+// The runtime is chaos-hardened and the serving path traced end to
+// end (DESIGN.md §11). mpi.WithChaos attaches a seeded, deterministic
+// fault plan (per-link delay / jitter / drop / duplicate / partition,
+// parsed from a tiny rule DSL by mpi.ParseChaosRules) to any
+// transport: order-preserving faults leave rollout frames
+// bit-identical, lossy faults fail stop with the link named, and a
+// starved receive hits a deadline instead of hanging —
+// `make smoke-chaos` asserts all three in-process and across a
+// 4-process TCP world (cmd/serve and cmd/infer take -chaos,
+// -chaos-seed, -chaos-recv-timeout). Every HTTP request carries an
+// X-Request-ID (minted or honored, echoed back, stamped into batcher
+// and session errors via core.ContextWithRequestID), so a failed
+// request names its ID, rank and link in one string; per-model
+// request-latency and batch-fill histograms (internal/stats.Histogram,
+// fixed log-spaced buckets) export on /metrics in the Prometheus
+// histogram format, and perf regressions are gated by cmd/benchdiff
+// against BENCH_baseline.json (make bench-compare).
+//
 // The message-passing runtime is transport-agnostic (DESIGN.md §8):
 // the same World/Comm semantics (non-overtaking tagged p2p,
 // collectives, Cartesian topology, CommStats + virtual network-cost
@@ -104,7 +122,7 @@
 //   - internal/decomp — the Fig. 2 domain decomposition
 //   - internal/dataset, internal/model, internal/stats — data pipeline,
 //     Table-I network builder, versioned model artifacts (§10),
-//     evaluation metrics
+//     evaluation metrics and lock-free latency histograms (§11)
 //   - internal/autodiff — scalar reverse-mode AD, the oracle that
 //     cross-validates every hand-written backward pass
 //   - internal/viz — ASCII/PGM/PPM field rendering

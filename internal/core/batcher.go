@@ -35,6 +35,7 @@ type Batcher struct {
 	eng      *Engine
 	maxBatch int
 	maxDelay time.Duration
+	fillObs  func(time.Duration) // nil = no observer
 
 	queue  chan *batchReq
 	closed chan struct{}
@@ -49,6 +50,7 @@ type Batcher struct {
 type batchReq struct {
 	ctx    context.Context
 	states []*tensor.Tensor
+	at     time.Time          // when Predict enqueued the request
 	res    chan PredictResult // buffered(1); the dispatcher never blocks on delivery
 }
 
@@ -66,6 +68,16 @@ func WithMaxBatch(n int) BatcherOption {
 // queued at collection time forms the batch.
 func WithMaxDelay(d time.Duration) BatcherOption {
 	return func(b *Batcher) { b.maxDelay = d }
+}
+
+// WithFillObserver registers a callback invoked once per dispatched
+// batch with the batch-fill delay: how long the batch's oldest request
+// waited between enqueue and dispatch. The serving front end feeds
+// this into the per-model batch-fill histogram on /metrics. The
+// callback runs on the dispatcher goroutine, so it must be fast and
+// must not call back into the Batcher.
+func WithFillObserver(fn func(time.Duration)) BatcherOption {
+	return func(b *Batcher) { b.fillObs = fn }
 }
 
 // NewBatcher starts a batcher over the engine. Close it to release
@@ -96,7 +108,7 @@ func (b *Batcher) Predict(ctx context.Context, states ...*tensor.Tensor) (*tenso
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
-	req := &batchReq{ctx: ctx, states: states, res: make(chan PredictResult, 1)}
+	req := &batchReq{ctx: ctx, states: states, at: time.Now(), res: make(chan PredictResult, 1)}
 	select {
 	case b.queue <- req:
 	case <-ctx.Done():
@@ -227,13 +239,20 @@ func (b *Batcher) drain() {
 // run evaluates one batch and delivers per-request results. Requests
 // whose context was cancelled while queued are dropped here — their
 // callers have already returned — so a slot is never wasted on work
-// nobody will read.
+// nobody will read. Every delivered error is stamped with the
+// request's trace ID (wrapRequestErr), so a failure inside a shared
+// batch still names the individual request it belongs to.
 func (b *Batcher) run(batch []*batchReq) {
+	if b.fillObs != nil {
+		// Fill delay is a property of batch formation — measure it from
+		// the oldest member, cancelled or not.
+		b.fillObs(time.Since(batch[0].at))
+	}
 	live := make([]*batchReq, 0, len(batch))
 	reqs := make([][]*tensor.Tensor, 0, len(batch))
 	for _, r := range batch {
 		if err := r.ctx.Err(); err != nil {
-			r.res <- PredictResult{Err: err}
+			r.res <- PredictResult{Err: wrapRequestErr(r.ctx, err)}
 			continue
 		}
 		live = append(live, r)
@@ -248,13 +267,14 @@ func (b *Batcher) run(batch []*batchReq) {
 	results, err := b.eng.PredictBatch(context.Background(), reqs)
 	if err != nil {
 		for _, r := range live {
-			r.res <- PredictResult{Err: err}
+			r.res <- PredictResult{Err: wrapRequestErr(r.ctx, err)}
 		}
 		return
 	}
 	b.batches.Add(1)
 	b.requests.Add(int64(len(live)))
 	for i, r := range live {
+		results[i].Err = wrapRequestErr(r.ctx, results[i].Err)
 		r.res <- results[i]
 	}
 }

@@ -30,6 +30,7 @@ type Engine struct {
 	workers    int
 	workersSet bool // false = clones inherit the ensemble models' knob
 	netModel   *mpi.NetModel
+	chaos      *mpi.ChaosPlan
 	backend    *nn.ConvBackend
 	mode       ExchangeMode
 	world      *mpi.World
@@ -64,6 +65,16 @@ func WithWorkers(n int) EngineOption {
 // WithWorld, the world's own NetModel governs instead.
 func WithNetModel(m *mpi.NetModel) EngineOption {
 	return func(e *Engine) { e.netModel = m }
+}
+
+// WithChaos injects the seeded fault plan into every session world
+// this engine builds (mpi.WithChaos; DESIGN.md §11), so rollouts run
+// under reproducible per-link delay/drop/duplicate/partition faults.
+// On a world supplied via WithWorld the plan is ignored — pass
+// mpi.WithChaos when building that world instead (every process of a
+// distributed job must share one plan).
+func WithChaos(plan mpi.ChaosPlan) EngineOption {
+	return func(e *Engine) { e.chaos = &plan }
 }
 
 // WithConvBackend pins the convolution engine (nn.FastPath or
@@ -267,6 +278,7 @@ type Session struct {
 	mode     ExchangeMode
 	channels int
 	step     int
+	trace    string // request ID captured from NewSession's context
 	closed   bool
 	broken   bool // a Step failed; pending requests may never complete
 
@@ -324,6 +336,9 @@ func (eng *Engine) NewSession(ctx context.Context, initials ...*tensor.Tensor) (
 		if eng.netModel != nil {
 			opts = append(opts, mpi.WithNetModel(eng.netModel))
 		}
+		if eng.chaos != nil {
+			opts = append(opts, mpi.WithChaos(*eng.chaos))
+		}
 		world = mpi.NewWorld(p.Ranks(), opts...)
 	} else if !eng.worldBusy.CompareAndSwap(false, true) {
 		return nil, fmt.Errorf("core: %w", ErrWorldBusy)
@@ -337,6 +352,7 @@ func (eng *Engine) NewSession(ctx context.Context, initials ...*tensor.Tensor) (
 		rk:       make([]sessionRank, p.Ranks()),
 		mode:     eng.mode,
 		channels: c,
+		trace:    RequestID(ctx),
 	}
 	// The interior/boundary tile plan per locally hosted rank (nil
 	// where the split does not apply — the session falls back to
@@ -514,6 +530,12 @@ func (s *Session) Step(ctx context.Context) (*tensor.Tensor, error) {
 	})
 	if err != nil {
 		s.broken = true
+		// Stamp the session's request ID onto the failure: combined with
+		// the *mpi.RankPanicError and the chaos transport's attribution
+		// inside it, the surfaced error names request, rank and link.
+		if s.trace != "" {
+			return nil, fmt.Errorf("request=%s: %w", s.trace, err)
+		}
 		return nil, err
 	}
 	s.lastStats = world.TotalStats()
@@ -551,6 +573,10 @@ func (s *Session) Run(ctx context.Context, steps int, fn func(k int, frame *tens
 
 // Steps returns how many steps the session has completed.
 func (s *Session) Steps() int { return s.step }
+
+// TraceID returns the request ID the session was opened under (from
+// ContextWithRequestID on the NewSession context), or "".
+func (s *Session) TraceID() string { return s.trace }
 
 // CommStats returns the cumulative communication cost of all steps so
 // far (halo exchanges plus result gathers). In Overlap mode the final

@@ -66,6 +66,7 @@ type World struct {
 	size       int
 	tr         Transport
 	model      *NetModel
+	chaos      *ChaosPlan
 	stats      []CommStats
 	mailboxCap int
 
@@ -107,8 +108,17 @@ func NewWorld(size int, opts ...Option) *World {
 		panic(fmt.Sprintf("mpi: world size must be positive, got %d", size))
 	}
 	w := newWorldShell(size, opts...)
-	w.tr = newMemTransport(size, w.mailboxCap)
+	w.tr = w.wrapTransport(newMemTransport(size, w.mailboxCap))
 	return w
+}
+
+// wrapTransport layers the optional chaos fault injector over a
+// freshly built transport.
+func (w *World) wrapTransport(tr Transport) Transport {
+	if w.chaos != nil {
+		return newChaosTransport(tr, *w.chaos)
+	}
+	return tr
 }
 
 // newWorldShell builds a World without a transport and applies the

@@ -84,7 +84,7 @@ func DialTCP(cfg TCPConfig, opts ...Option) (*World, error) {
 	if err != nil {
 		return nil, err
 	}
-	w.tr = tr
+	w.tr = w.wrapTransport(tr)
 	return w, nil
 }
 

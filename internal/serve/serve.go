@@ -44,6 +44,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"log"
 	"net/http"
 	"path/filepath"
 	"strconv"
@@ -108,11 +109,14 @@ type PredictRequest struct {
 
 // RolloutFrame is one line of the streamed rollout response (JSON
 // lines; the gob stream encodes the same struct per frame). A frame
-// with a non-empty Error terminates the stream.
+// with a non-empty Error terminates the stream. Every record carries
+// the rollout's request ID, so a stream teed to disk stays attributable
+// after the connection is gone.
 type RolloutFrame struct {
-	Step  int         `json:"step"`
-	Frame *TensorJSON `json:"frame,omitempty"`
-	Error string      `json:"error,omitempty"`
+	Step      int         `json:"step"`
+	RequestID string      `json:"request_id,omitempty"`
+	Frame     *TensorJSON `json:"frame,omitempty"`
+	Error     string      `json:"error,omitempty"`
 }
 
 // Config tunes a Server.
@@ -135,6 +139,12 @@ type Config struct {
 	// build from artifact directories (cmd/serve passes its -workers,
 	// -conv and -exchange settings here).
 	EngineOptions []core.EngineOption
+	// AccessLog, when set, receives one line per request (method, path,
+	// status, duration, request ID) plus a per-rollout summary with the
+	// session's communication stats — so a request ID can be traced
+	// from client, through the envelope or stream record, to the ranks
+	// it exercised.
+	AccessLog *log.Logger
 }
 
 // servedModel is the per-published-version serving state: the
@@ -168,12 +178,17 @@ type Server struct {
 	maxSteps int
 	mux      *http.ServeMux
 
+	accessLog *log.Logger
+
 	mu     sync.RWMutex
 	models map[string]*servedModel
 	// totals accumulates the counters of retired versions per model
 	// name, so /metrics and the exit stats survive hot swaps instead
 	// of resetting with each fresh batcher.
 	totals map[string]*modelTally
+	// hists holds the per-model-NAME latency histograms (request
+	// latency, batch-fill delay), surviving hot swaps like totals.
+	hists  map[string]*modelHists
 	closed bool
 
 	adminMu sync.Mutex     // serializes load/swap/unload/close
@@ -203,14 +218,16 @@ func NewMulti(reg *core.Registry, cfg Config) (*Server, error) {
 		reg = core.NewRegistry()
 	}
 	s := &Server{
-		cfg:      cfg,
-		reg:      reg,
-		deflt:    cfg.DefaultModel,
-		initials: cfg.Initials,
-		maxSteps: cfg.MaxRolloutSteps,
-		mux:      http.NewServeMux(),
-		models:   make(map[string]*servedModel),
-		totals:   make(map[string]*modelTally),
+		cfg:       cfg,
+		reg:       reg,
+		deflt:     cfg.DefaultModel,
+		initials:  cfg.Initials,
+		maxSteps:  cfg.MaxRolloutSteps,
+		mux:       http.NewServeMux(),
+		models:    make(map[string]*servedModel),
+		totals:    make(map[string]*modelTally),
+		hists:     make(map[string]*modelHists),
+		accessLog: cfg.AccessLog,
 	}
 	if s.deflt == "" {
 		s.deflt = DefaultModelName
@@ -224,7 +241,7 @@ func NewMulti(reg *core.Registry, cfg Config) (*Server, error) {
 		if err != nil {
 			continue // unloaded between List and Get
 		}
-		sm, err := s.newServedModel(h)
+		sm, err := s.newServedModel(info.Name, h)
 		if err != nil {
 			h.Release()
 			s.Close()
@@ -246,9 +263,14 @@ func NewMulti(reg *core.Registry, cfg Config) (*Server, error) {
 }
 
 // newServedModel builds the per-version serving state (the batcher)
-// around a handle the caller has already retained for us.
-func (s *Server) newServedModel(h *core.Handle) (*servedModel, error) {
-	var bopts []core.BatcherOption
+// around a handle the caller has already retained for us. The name
+// routes the version's batch-fill delays into the model's histogram
+// (which outlives the version — hists are keyed by name).
+func (s *Server) newServedModel(name string, h *core.Handle) (*servedModel, error) {
+	hist := s.histFor(name)
+	bopts := []core.BatcherOption{
+		core.WithFillObserver(func(d time.Duration) { hist.fill.Observe(d) }),
+	}
 	if s.cfg.MaxBatch > 0 {
 		bopts = append(bopts, core.WithMaxBatch(s.cfg.MaxBatch))
 	}
@@ -262,8 +284,24 @@ func (s *Server) newServedModel(h *core.Handle) (*servedModel, error) {
 	return &servedModel{h: h, bat: bat}, nil
 }
 
-// ServeHTTP implements http.Handler.
-func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+// ServeHTTP implements http.Handler: assign the request its ID (honor
+// a client X-Request-ID, mint otherwise), echo it on the response,
+// thread it through the context into core, and write the access-log
+// line once the handler returns.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	id := ensureRequestID(r)
+	w.Header().Set(RequestIDHeader, id)
+	r = r.WithContext(core.ContextWithRequestID(r.Context(), id))
+	rec := &statusRecorder{ResponseWriter: w}
+	start := time.Now()
+	s.mux.ServeHTTP(rec, r)
+	status := rec.status
+	if status == 0 {
+		status = http.StatusOK // handler wrote nothing; net/http sends 200
+	}
+	s.logf("%s %s status=%d dur=%s request=%s",
+		r.Method, r.URL.Path, status, time.Since(start).Round(time.Microsecond), id)
+}
 
 // Registry exposes the underlying model registry (read-mostly; use
 // the server's Load/Swap/Unload methods for mutations so the per-model
@@ -332,7 +370,7 @@ func (s *Server) install(name string) error {
 	if err != nil {
 		return err
 	}
-	sm, err := s.newServedModel(h)
+	sm, err := s.newServedModel(name, h)
 	if err != nil {
 		h.Release()
 		return err
@@ -611,12 +649,12 @@ const (
 	errorsV2
 )
 
-func (s *Server) httpErr(w http.ResponseWriter, mode errorMode, model string, err error, status int) {
+func (s *Server) httpErr(w http.ResponseWriter, r *http.Request, mode errorMode, model string, err error, status int) {
 	if mode == errorsV1 {
 		http.Error(w, err.Error(), status)
 		return
 	}
-	writeErrorEnvelope(w, model, err, status)
+	writeErrorEnvelope(w, model, core.RequestID(r.Context()), err, status)
 }
 
 func (s *Server) handlePredictV1(w http.ResponseWriter, r *http.Request) {
@@ -628,24 +666,26 @@ func (s *Server) handlePredictV2(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request, name string, mode errorMode) {
+	start := time.Now()
+	defer func() { s.histFor(name).latency.Observe(time.Since(start)) }()
 	if r.Method != http.MethodPost {
-		s.httpErr(w, mode, name, fmt.Errorf("serve: POST only"), http.StatusMethodNotAllowed)
+		s.httpErr(w, r, mode, name, fmt.Errorf("serve: POST only"), http.StatusMethodNotAllowed)
 		return
 	}
 	sm, release, err := s.acquire(name)
 	if err != nil {
-		s.httpErr(w, mode, name, err, statusFor(err))
+		s.httpErr(w, r, mode, name, err, statusFor(err))
 		return
 	}
 	defer release()
 	states, binary, err := decodeStates(w, r)
 	if err != nil {
-		s.httpErr(w, mode, name, err, bodyErrStatus(err))
+		s.httpErr(w, r, mode, name, err, bodyErrStatus(err))
 		return
 	}
 	frame, err := sm.bat.Predict(r.Context(), states...)
 	if err != nil {
-		s.httpErr(w, mode, name, err, statusFor(err))
+		s.httpErr(w, r, mode, name, err, statusFor(err))
 		return
 	}
 	if binary {
@@ -669,22 +709,24 @@ func (s *Server) handleRolloutV2(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleRollout(w http.ResponseWriter, r *http.Request, name string, mode errorMode) {
+	start := time.Now()
+	defer func() { s.histFor(name).latency.Observe(time.Since(start)) }()
 	steps := 1
 	if v := r.URL.Query().Get("steps"); v != "" {
 		n, err := strconv.Atoi(v)
 		if err != nil || n < 1 {
-			s.httpErr(w, mode, name, fmt.Errorf("serve: bad steps %q", v), http.StatusBadRequest)
+			s.httpErr(w, r, mode, name, fmt.Errorf("serve: bad steps %q", v), http.StatusBadRequest)
 			return
 		}
 		steps = n
 	}
 	if steps > s.maxSteps {
-		s.httpErr(w, mode, name, fmt.Errorf("serve: steps %d exceeds cap %d", steps, s.maxSteps), http.StatusBadRequest)
+		s.httpErr(w, r, mode, name, fmt.Errorf("serve: steps %d exceeds cap %d", steps, s.maxSteps), http.StatusBadRequest)
 		return
 	}
 	sm, release, err := s.acquire(name)
 	if err != nil {
-		s.httpErr(w, mode, name, err, statusFor(err))
+		s.httpErr(w, r, mode, name, err, statusFor(err))
 		return
 	}
 	defer release()
@@ -693,7 +735,7 @@ func (s *Server) handleRollout(w http.ResponseWriter, r *http.Request, name stri
 	switch r.Method {
 	case http.MethodGet:
 		if len(s.initials) == 0 {
-			s.httpErr(w, mode, name, fmt.Errorf("serve: GET rollout needs a server-side initial state (-init); POST a history instead"), http.StatusBadRequest)
+			s.httpErr(w, r, mode, name, fmt.Errorf("serve: GET rollout needs a server-side initial state (-init); POST a history instead"), http.StatusBadRequest)
 			return
 		}
 		states = s.initials
@@ -701,21 +743,30 @@ func (s *Server) handleRollout(w http.ResponseWriter, r *http.Request, name stri
 	case http.MethodPost:
 		states, binary, err = decodeStates(w, r)
 		if err != nil {
-			s.httpErr(w, mode, name, err, bodyErrStatus(err))
+			s.httpErr(w, r, mode, name, err, bodyErrStatus(err))
 			return
 		}
 	default:
-		s.httpErr(w, mode, name, fmt.Errorf("serve: GET or POST only"), http.StatusMethodNotAllowed)
+		s.httpErr(w, r, mode, name, fmt.Errorf("serve: GET or POST only"), http.StatusMethodNotAllowed)
 		return
 	}
 
 	ctx := r.Context()
+	rid := core.RequestID(ctx)
 	ses, err := sm.h.Engine().NewSession(ctx, states...)
 	if err != nil {
-		s.httpErr(w, mode, name, err, statusFor(err))
+		s.httpErr(w, r, mode, name, err, statusFor(err))
 		return
 	}
-	defer ses.Close()
+	defer func() {
+		// The per-request trace ends at the ranks: log the session's
+		// communication totals under the request ID, so a request can be
+		// followed from client header to the traffic it generated.
+		cs := ses.CommStats()
+		s.logf("rollout request=%s model=%s steps=%d comm_msgs=%d comm_bytes=%d",
+			rid, name, ses.Steps(), cs.MessagesSent, cs.BytesSent)
+		ses.Close()
+	}()
 
 	// From here on the status line is committed: stream one frame per
 	// chunk, flushing each so slow consumers see frames as they are
@@ -734,7 +785,7 @@ func (s *Server) handleRollout(w http.ResponseWriter, r *http.Request, name stri
 	}
 	err = ses.Run(ctx, steps, func(k int, frame *tensor.Tensor) error {
 		fj := NewTensorJSON(frame)
-		if err := writeFrame(RolloutFrame{Step: k, Frame: &fj}); err != nil {
+		if err := writeFrame(RolloutFrame{Step: k, RequestID: rid, Frame: &fj}); err != nil {
 			return err
 		}
 		if flusher != nil {
@@ -743,6 +794,6 @@ func (s *Server) handleRollout(w http.ResponseWriter, r *http.Request, name stri
 		return nil
 	})
 	if err != nil {
-		_ = writeFrame(RolloutFrame{Step: -1, Error: err.Error()})
+		_ = writeFrame(RolloutFrame{Step: -1, RequestID: rid, Error: err.Error()})
 	}
 }

@@ -5,10 +5,13 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"net/http"
+	"strconv"
 	"strings"
 
 	"repro/internal/core"
+	"repro/internal/stats"
 )
 
 // ErrorBody is the structured error the /v2 routes return.
@@ -19,6 +22,10 @@ type ErrorBody struct {
 	Message string `json:"message"`
 	// Model names the model the request addressed, when known.
 	Model string `json:"model,omitempty"`
+	// RequestID is the request's trace ID (also on the X-Request-ID
+	// response header), correlating the envelope with access-log lines
+	// and any rank/link attribution inside Message.
+	RequestID string `json:"request_id,omitempty"`
 }
 
 // ErrorEnvelope is the /v2 error wire format:
@@ -64,13 +71,14 @@ func errorCode(err error, status int) string {
 }
 
 // writeErrorEnvelope reports err as the /v2 structured JSON envelope.
-func writeErrorEnvelope(w http.ResponseWriter, model string, err error, status int) {
+func writeErrorEnvelope(w http.ResponseWriter, model, requestID string, err error, status int) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(status)
 	_ = json.NewEncoder(w).Encode(ErrorEnvelope{Error: ErrorBody{
-		Code:    errorCode(err, status),
-		Message: err.Error(),
-		Model:   model,
+		Code:      errorCode(err, status),
+		Message:   err.Error(),
+		Model:     model,
+		RequestID: requestID,
 	}})
 }
 
@@ -108,9 +116,10 @@ type AdminResponse struct {
 // address) is the trust boundary — same as the rest of the surface.
 func (s *Server) handleAdmin(w http.ResponseWriter, r *http.Request) {
 	op := strings.TrimPrefix(r.URL.Path, "/v2/admin/")
+	rid := core.RequestID(r.Context())
 	var req AdminRequest
 	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20)).Decode(&req); err != nil {
-		writeErrorEnvelope(w, req.Name, fmt.Errorf("serve: admin body: %w", err), bodyErrStatus(err))
+		writeErrorEnvelope(w, req.Name, rid, fmt.Errorf("serve: admin body: %w", err), bodyErrStatus(err))
 		return
 	}
 	resp := AdminResponse{Op: op, Name: req.Name, Version: req.Version}
@@ -118,19 +127,19 @@ func (s *Server) handleAdmin(w http.ResponseWriter, r *http.Request) {
 	switch op {
 	case "load", "swap":
 		if req.Dir == "" {
-			writeErrorEnvelope(w, req.Name, fmt.Errorf("serve: admin %s needs a model directory (\"dir\")", op), http.StatusBadRequest)
+			writeErrorEnvelope(w, req.Name, rid, fmt.Errorf("serve: admin %s needs a model directory (\"dir\")", op), http.StatusBadRequest)
 			return
 		}
 		resp.Name, resp.Version, err = s.LoadDir(req.Dir, req.Name, req.Version, op == "swap")
 	case "unload":
 		if req.Name == "" {
-			writeErrorEnvelope(w, "", fmt.Errorf("serve: admin unload needs a model name"), http.StatusBadRequest)
+			writeErrorEnvelope(w, "", rid, fmt.Errorf("serve: admin unload needs a model name"), http.StatusBadRequest)
 			return
 		}
 		resp.Version = ""
 		err = s.UnloadModel(req.Name)
 	default:
-		writeErrorEnvelope(w, req.Name, fmt.Errorf("serve: unknown admin operation %q", op), http.StatusNotFound)
+		writeErrorEnvelope(w, req.Name, rid, fmt.Errorf("serve: unknown admin operation %q", op), http.StatusNotFound)
 		return
 	}
 	if err != nil {
@@ -142,7 +151,7 @@ func (s *Server) handleAdmin(w http.ResponseWriter, r *http.Request) {
 			// are operator input problems, not server faults.
 			status = http.StatusBadRequest
 		}
-		writeErrorEnvelope(w, resp.Name, err, status)
+		writeErrorEnvelope(w, resp.Name, rid, err, status)
 		return
 	}
 	w.Header().Set("Content-Type", "application/json")
@@ -200,5 +209,35 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 			ready = 1
 		}
 		fmt.Fprintf(w, "repro_model_ready{model=%q,version=%q} %d\n", m.Name, m.Version, ready)
+	}
+	// Latency histograms (DESIGN.md §11): per model NAME so series
+	// survive hot swaps; the fixed log-spaced buckets come from
+	// stats.Histogram.
+	hists := s.histSnapshots()
+	writeHistogram(w, "repro_model_request_latency_seconds",
+		"predict/rollout whole-request latency", hists,
+		func(h histExport) statshist { return h.Latency })
+	writeHistogram(w, "repro_model_batch_fill_delay_seconds",
+		"micro-batch fill delay (oldest request enqueue to dispatch)", hists,
+		func(h histExport) statshist { return h.Fill })
+}
+
+// statshist aliases the snapshot type to keep writeHistogram readable.
+type statshist = stats.HistogramSnapshot
+
+// writeHistogram emits one metric family in the Prometheus histogram
+// exposition format: cumulative {le=...} buckets per model, then _sum
+// and _count.
+func writeHistogram(w io.Writer, name, help string, hists []histExport, pick func(histExport) statshist) {
+	fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s histogram\n", name, help, name)
+	for _, h := range hists {
+		snap := pick(h)
+		for i, bound := range snap.Bounds {
+			fmt.Fprintf(w, "%s_bucket{model=%q,le=%q} %d\n",
+				name, h.Name, strconv.FormatFloat(bound.Seconds(), 'g', -1, 64), snap.CumulativeCounts[i])
+		}
+		fmt.Fprintf(w, "%s_bucket{model=%q,le=\"+Inf\"} %d\n", name, h.Name, snap.Count)
+		fmt.Fprintf(w, "%s_sum{model=%q} %g\n", name, h.Name, snap.Sum.Seconds())
+		fmt.Fprintf(w, "%s_count{model=%q} %d\n", name, h.Name, snap.Count)
 	}
 }

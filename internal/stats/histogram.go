@@ -1,0 +1,129 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sync/atomic"
+	"time"
+)
+
+// Histogram is a small, dependency-free latency histogram with fixed
+// log-spaced buckets, safe for concurrent Observe from many request
+// goroutines. Buckets double from 100µs to ~100s (21 finite upper
+// bounds plus +Inf), the usual shape for request latencies: fine
+// resolution where fast requests live, coarse where stragglers do.
+// Counts are cumulative per bucket (count of observations <= bound),
+// matching the Prometheus histogram exposition format directly.
+//
+// Observe is one atomic add on the matching bucket plus two for the
+// sum/count pair — no locks, no allocation — so it can sit on the
+// serving hot path.
+type Histogram struct {
+	counts [histBuckets + 1]atomic.Int64 // last slot is +Inf
+	count  atomic.Int64
+	sumNs  atomic.Int64
+}
+
+// histBuckets is the number of finite buckets.
+const histBuckets = 21
+
+// histBase is the first finite upper bound; each following bound
+// doubles it.
+const histBase = 100 * time.Microsecond
+
+// histBounds returns the finite upper bounds, ascending.
+func histBounds() [histBuckets]time.Duration {
+	var b [histBuckets]time.Duration
+	d := histBase
+	for i := range b {
+		b[i] = d
+		d *= 2
+	}
+	return b
+}
+
+// histogramBounds is the shared bound table (identical for every
+// Histogram; buckets are fixed by design so snapshots from different
+// models and different runs line up).
+var histogramBounds = histBounds()
+
+// Observe records one duration. Negative durations count into the
+// first bucket (clock skew should not crash a metrics path).
+func (h *Histogram) Observe(d time.Duration) {
+	idx := 0
+	for idx < histBuckets && d > histogramBounds[idx] {
+		idx++
+	}
+	h.counts[idx].Add(1)
+	h.count.Add(1)
+	h.sumNs.Add(int64(d))
+}
+
+// HistogramSnapshot is a consistent-enough copy of a histogram for
+// export: per-bucket cumulative counts, total count and sum. (Buckets
+// are read one atomic at a time, so a snapshot taken mid-Observe can
+// be off by a transient observation — harmless for monitoring.)
+type HistogramSnapshot struct {
+	// Bounds are the finite bucket upper bounds, ascending; the
+	// implicit final bucket is +Inf.
+	Bounds []time.Duration
+	// CumulativeCounts[i] is the number of observations <= Bounds[i];
+	// the final extra entry is the total (the +Inf bucket).
+	CumulativeCounts []int64
+	// Count is the total number of observations.
+	Count int64
+	// Sum is the sum of all observed durations.
+	Sum time.Duration
+}
+
+// Snapshot copies the current state for export.
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	s := HistogramSnapshot{
+		Bounds:           make([]time.Duration, histBuckets),
+		CumulativeCounts: make([]int64, histBuckets+1),
+		Count:            h.count.Load(),
+		Sum:              time.Duration(h.sumNs.Load()),
+	}
+	copy(s.Bounds, histogramBounds[:])
+	var cum int64
+	for i := range h.counts {
+		cum += h.counts[i].Load()
+		s.CumulativeCounts[i] = cum
+	}
+	return s
+}
+
+// Quantile estimates the q-quantile (0 <= q <= 1) from the bucket
+// counts, attributing each observation to its bucket's upper bound —
+// a conservative (over-)estimate, the standard histogram-quantile
+// reading. Returns 0 when the histogram is empty.
+func (s HistogramSnapshot) Quantile(q float64) time.Duration {
+	if s.Count == 0 {
+		return 0
+	}
+	target := int64(math.Ceil(q * float64(s.Count)))
+	if target < 1 {
+		target = 1
+	}
+	for i, cum := range s.CumulativeCounts {
+		if cum >= target {
+			if i < len(s.Bounds) {
+				return s.Bounds[i]
+			}
+			// +Inf bucket: the best finite statement is "above the
+			// largest bound".
+			return s.Bounds[len(s.Bounds)-1]
+		}
+	}
+	return s.Bounds[len(s.Bounds)-1]
+}
+
+// String implements fmt.Stringer with a compact summary.
+func (s HistogramSnapshot) String() string {
+	if s.Count == 0 {
+		return "histogram{empty}"
+	}
+	mean := time.Duration(int64(s.Sum) / s.Count)
+	return fmt.Sprintf("histogram{n=%d mean=%v p50<=%v p99<=%v}",
+		s.Count, mean.Round(time.Microsecond), s.Quantile(0.5), s.Quantile(0.99))
+}

@@ -1,0 +1,97 @@
+package stats
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestHistogramBuckets(t *testing.T) {
+	var h Histogram
+	h.Observe(50 * time.Microsecond)  // <= first bound (100µs)
+	h.Observe(100 * time.Microsecond) // boundary: still first bucket
+	h.Observe(150 * time.Microsecond) // second bucket (<= 200µs)
+	h.Observe(time.Hour)              // beyond all bounds: +Inf bucket
+	h.Observe(-time.Second)           // negative: first bucket, not a panic
+
+	s := h.Snapshot()
+	if s.Count != 5 {
+		t.Fatalf("count %d, want 5", s.Count)
+	}
+	if got := s.CumulativeCounts[0]; got != 3 {
+		t.Fatalf("first bucket cumulative %d, want 3", got)
+	}
+	if got := s.CumulativeCounts[1]; got != 4 {
+		t.Fatalf("second bucket cumulative %d, want 4", got)
+	}
+	last := s.CumulativeCounts[len(s.CumulativeCounts)-1]
+	if last != 5 {
+		t.Fatalf("+Inf bucket cumulative %d, want total 5", last)
+	}
+	if s.CumulativeCounts[len(s.Bounds)-1] != 4 {
+		t.Fatalf("largest finite bucket should exclude the +Inf observation")
+	}
+	wantSum := 50*time.Microsecond + 100*time.Microsecond + 150*time.Microsecond + time.Hour - time.Second
+	if s.Sum != wantSum {
+		t.Fatalf("sum %v, want %v", s.Sum, wantSum)
+	}
+}
+
+func TestHistogramBoundsShape(t *testing.T) {
+	s := new(Histogram).Snapshot()
+	if len(s.Bounds) != histBuckets || len(s.CumulativeCounts) != histBuckets+1 {
+		t.Fatalf("bounds/counts lengths %d/%d", len(s.Bounds), len(s.CumulativeCounts))
+	}
+	if s.Bounds[0] != 100*time.Microsecond {
+		t.Fatalf("first bound %v, want 100µs", s.Bounds[0])
+	}
+	for i := 1; i < len(s.Bounds); i++ {
+		if s.Bounds[i] != 2*s.Bounds[i-1] {
+			t.Fatalf("bound %d = %v, want double of %v", i, s.Bounds[i], s.Bounds[i-1])
+		}
+	}
+}
+
+func TestHistogramQuantile(t *testing.T) {
+	var h Histogram
+	if q := h.Snapshot().Quantile(0.99); q != 0 {
+		t.Fatalf("empty histogram quantile %v, want 0", q)
+	}
+	for i := 0; i < 99; i++ {
+		h.Observe(time.Millisecond) // bucket bound 1.6ms
+	}
+	h.Observe(time.Second) // bucket bound ~1.6778s
+	s := h.Snapshot()
+	if q := s.Quantile(0.5); q != 1600*time.Microsecond {
+		t.Fatalf("p50 %v, want the 1.6ms bound", q)
+	}
+	if q := s.Quantile(1); q < time.Second {
+		t.Fatalf("p100 %v should cover the slowest observation", q)
+	}
+	if s.Quantile(0.5) >= s.Quantile(1) {
+		t.Fatalf("p50 %v not below p100 %v", s.Quantile(0.5), s.Quantile(1))
+	}
+}
+
+func TestHistogramConcurrentObserve(t *testing.T) {
+	var h Histogram
+	const goroutines, per = 8, 1000
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				h.Observe(time.Duration(i) * time.Microsecond)
+			}
+		}()
+	}
+	wg.Wait()
+	s := h.Snapshot()
+	if s.Count != goroutines*per {
+		t.Fatalf("count %d, want %d", s.Count, goroutines*per)
+	}
+	if last := s.CumulativeCounts[len(s.CumulativeCounts)-1]; last != s.Count {
+		t.Fatalf("bucket total %d != count %d", last, s.Count)
+	}
+}
