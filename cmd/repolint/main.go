@@ -1,0 +1,78 @@
+// Command repolint is the repository's static-analysis multichecker:
+// it compiles the internal/analysis suite — errwrap, ctxflow,
+// goroutinelife, detpath, closecheck (DESIGN.md §12) — into one
+// binary, usable two ways:
+//
+// Standalone, over package patterns (the `make lint` and CI form):
+//
+//	go run ./cmd/repolint ./...
+//
+// exits 0 when the tree is clean and 1 with file:line:col findings
+// otherwise. And as a vet tool, which also covers test files of the
+// analyzed packages:
+//
+//	go build -o /tmp/repolint ./cmd/repolint
+//	go vet -vettool=/tmp/repolint ./...
+//
+// A finding is suppressed by annotating the offending line (or the
+// line below a comment-only line) with
+//
+//	//repolint:allow <analyzer>[,<analyzer>...] -- <reason>
+//
+// The clean-tree invariant is also asserted by the tier-1 test
+// TestRepoTreeIsClean, so `go test ./...` fails before CI does.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/analysis"
+)
+
+func main() {
+	// Vet-protocol invocations (-V=full, -flags, pkg.cfg) exit inside
+	// VetToolMain; everything else is the standalone multichecker.
+	analysis.VetToolMain(os.Args[1:], analysis.All())
+
+	list := flag.Bool("list", false, "list the analyzers and their invariants, then exit")
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: repolint [-list] [packages]\n\nRuns the repo's invariant analyzers (default pattern ./...).\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	if *list {
+		for _, a := range analysis.All() {
+			fmt.Printf("%-14s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	cwd, err := os.Getwd()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "repolint: %v\n", err)
+		os.Exit(1)
+	}
+	pkgs, err := analysis.Load(cwd, patterns...)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "repolint: %v\n", err)
+		os.Exit(1)
+	}
+	total := 0
+	for _, pkg := range pkgs {
+		for _, d := range analysis.RunPackage(pkg, analysis.All()) {
+			fmt.Println(d)
+			total++
+		}
+	}
+	if total > 0 {
+		fmt.Fprintf(os.Stderr, "repolint: %d finding(s)\n", total)
+		os.Exit(1)
+	}
+}

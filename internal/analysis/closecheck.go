@@ -1,0 +1,119 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// CloseCheck targets the PR 5 fsync/Close bug class: on most
+// filesystems a write error (ENOSPC included) can surface only at
+// Close, so a file handle opened for writing whose Close error is
+// discarded can silently truncate — the artifact looks written, the
+// digest later disagrees. Within a function, any handle acquired from
+// os.Create, os.CreateTemp, or os.OpenFile must have its Close error
+// checked; `defer f.Close()` and a bare `f.Close()` statement both
+// discard it. Read-only handles (os.Open) are exempt — their Close
+// error carries no durability information — as are error-path
+// best-effort closes annotated `//repolint:allow closecheck`.
+var CloseCheck = &Analyzer{
+	Name: "closecheck",
+	Doc:  "Close errors of write-mode file handles (os.Create/CreateTemp/OpenFile) are checked",
+	Run:  runCloseCheck,
+}
+
+// isWriteOpen reports whether call acquires a write-capable *os.File.
+func isWriteOpen(info *types.Info, call *ast.CallExpr) bool {
+	return isPkgCall(info, call, "os", "Create") ||
+		isPkgCall(info, call, "os", "CreateTemp") ||
+		isPkgCall(info, call, "os", "OpenFile")
+}
+
+func runCloseCheck(pass *Pass) {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkFuncCloses(pass, fd.Body)
+		}
+	}
+}
+
+// checkFuncCloses flags discarded Close calls on write-handle
+// variables within one function body (closures included: the handle
+// objects are resolved through go/types, so a deferred closure closing
+// an outer handle is still seen).
+func checkFuncCloses(pass *Pass, body *ast.BlockStmt) {
+	// Pass 1: variables assigned from a write-mode open.
+	handles := make(map[types.Object]bool)
+	ast.Inspect(body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok {
+			return true
+		}
+		for i, rhs := range as.Rhs {
+			call, ok := ast.Unparen(rhs).(*ast.CallExpr)
+			if !ok || !isWriteOpen(pass.Info, call) {
+				continue
+			}
+			// os.Create/CreateTemp/OpenFile all return (f, err): with a
+			// single multi-value RHS the handle is Lhs[0].
+			if id, ok := as.Lhs[lhsIndex(i, len(as.Rhs))].(*ast.Ident); ok {
+				if obj := identObj(pass.Info, id); obj != nil {
+					handles[obj] = true
+				}
+			}
+		}
+		return true
+	})
+	if len(handles) == 0 {
+		return
+	}
+	// Pass 2: Close calls on those variables whose error result is
+	// discarded (expression statement or defer).
+	report := func(call *ast.CallExpr, deferred bool) {
+		sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+		if !ok || sel.Sel.Name != "Close" || len(call.Args) != 0 {
+			return
+		}
+		id, ok := ast.Unparen(sel.X).(*ast.Ident)
+		if !ok || !handles[identObj(pass.Info, id)] {
+			return
+		}
+		how := "discarded"
+		if deferred {
+			how = "discarded by defer"
+		}
+		pass.Reportf(call.Pos(), "Close error of write-mode handle %s %s; a full disk can truncate silently — check it (sync, then close, then rename)", id.Name, how)
+	}
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.ExprStmt:
+			if call, ok := ast.Unparen(n.X).(*ast.CallExpr); ok {
+				report(call, false)
+			}
+		case *ast.DeferStmt:
+			report(n.Call, true)
+		}
+		return true
+	})
+}
+
+// identObj resolves an identifier to its object, following both uses
+// and defining occurrences (`f, err := os.Create(...)` defines f).
+func identObj(info *types.Info, id *ast.Ident) types.Object {
+	if obj := info.Uses[id]; obj != nil {
+		return obj
+	}
+	return info.Defs[id]
+}
+
+// lhsIndex selects the LHS index for RHS entry i: with a single
+// multi-value call on the right, the handle is always Lhs[0].
+func lhsIndex(i, nrhs int) int {
+	if nrhs == 1 {
+		return 0
+	}
+	return i
+}

@@ -1,0 +1,79 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// CtxFlow preserves the PR 6 request-ID chain: a function that
+// receives a context.Context carries the request identity (and
+// cancellation), so calling context.Background() or context.TODO()
+// inside it severs the chain — the callee would compute under an
+// anonymous context and its errors would lose their "request=<id>"
+// attribution. Derived contexts (context.WithTimeout(ctx, ...), a
+// different ctx variable) are fine; minting a fresh root is not.
+// Functions without a ctx parameter are legitimate roots and are not
+// checked.
+var CtxFlow = &Analyzer{
+	Name: "ctxflow",
+	Doc:  "a function receiving a context.Context never replaces it with context.Background/TODO",
+	Run:  runCtxFlow,
+}
+
+// isContextType reports whether t is context.Context.
+func isContextType(t types.Type) bool {
+	return isNamed(t, "context", "Context")
+}
+
+// hasCtxParam reports whether the function type declares a
+// context.Context parameter.
+func hasCtxParam(info *types.Info, ft *ast.FuncType) bool {
+	if ft.Params == nil {
+		return false
+	}
+	for _, field := range ft.Params.List {
+		if tv, ok := info.Types[field.Type]; ok && isContextType(tv.Type) {
+			return true
+		}
+	}
+	return false
+}
+
+func runCtxFlow(pass *Pass) {
+	for _, f := range pass.Files {
+		// Walk with an explicit function stack (ast.Inspect signals
+		// subtree exit with a nil node): a ctx-less closure inside a
+		// ctx-receiving function stays governed — it closes over ctx —
+		// while a top-level function without a ctx parameter is a
+		// legitimate context root.
+		var nodes []ast.Node
+		var governed []bool
+		ast.Inspect(f, func(n ast.Node) bool {
+			if n == nil {
+				top := nodes[len(nodes)-1]
+				nodes = nodes[:len(nodes)-1]
+				switch top.(type) {
+				case *ast.FuncDecl, *ast.FuncLit:
+					governed = governed[:len(governed)-1]
+				}
+				return true
+			}
+			nodes = append(nodes, n)
+			switch n := n.(type) {
+			case *ast.FuncDecl:
+				governed = append(governed, hasCtxParam(pass.Info, n.Type))
+			case *ast.FuncLit:
+				inherited := len(governed) > 0 && governed[len(governed)-1]
+				governed = append(governed, inherited || hasCtxParam(pass.Info, n.Type))
+			case *ast.CallExpr:
+				if len(governed) == 0 || !governed[len(governed)-1] {
+					return true
+				}
+				if isPkgCall(pass.Info, n, "context", "Background") || isPkgCall(pass.Info, n, "context", "TODO") {
+					pass.Reportf(n.Pos(), "context.%s inside a function that receives a context; thread (or derive from) the caller's ctx", calleeFunc(pass.Info, n).Name())
+				}
+			}
+			return true
+		})
+	}
+}

@@ -1,0 +1,77 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// DetPath guards the bit-reproducibility contract (DESIGN.md §8, §11):
+// the frame-producing packages — tensor, nn, autodiff, and the mpi
+// send paths — must be pure functions of their inputs, so rollouts are
+// bit-identical across transports, exchange modes, and reruns. Three
+// classic divergence sources are banned outright:
+//
+//   - wall-clock reads (time.Now, time.Since): anything derived from
+//     them differs between ranks and between runs;
+//   - the global math/rand RNG: shared mutable state seeded from the
+//     clock — all randomness must flow from an explicit seeded
+//     rand.New(rand.NewSource(seed));
+//   - ranging over a map: Go randomizes iteration order per run, so
+//     any value assembled by map iteration differs run to run.
+//
+// Legitimate wall-clock sites — timeouts, deadlines, latency
+// histograms — carry a `//repolint:allow detpath -- <reason>` escape;
+// they measure time but never let it into a frame.
+var DetPath = &Analyzer{
+	Name:  "detpath",
+	Doc:   "no wall-clock, global RNG, or map-iteration nondeterminism in the frame-producing packages",
+	Match: matchPackages("internal/tensor", "internal/nn", "internal/autodiff", "internal/mpi"),
+	Run:   runDetPath,
+}
+
+// globalRandFuncs are the math/rand package-level functions that read
+// the shared global RNG. Constructors (New, NewSource) build explicit
+// seeded generators and stay legal.
+func isGlobalRandCall(info *types.Info, call *ast.CallExpr) bool {
+	f := calleeFunc(info, call)
+	if f == nil || f.Pkg() == nil || f.Type().(*types.Signature).Recv() != nil {
+		return false
+	}
+	switch f.Pkg().Path() {
+	case "math/rand", "math/rand/v2":
+	default:
+		return false
+	}
+	switch f.Name() {
+	case "New", "NewSource", "NewZipf", "NewChaCha8", "NewPCG":
+		return false
+	}
+	return true
+}
+
+func runDetPath(pass *Pass) {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.CallExpr:
+				switch {
+				case isPkgCall(pass.Info, n, "time", "Now"):
+					pass.Reportf(n.Pos(), "wall-clock read in a deterministic package; frames must not depend on time.Now")
+				case isPkgCall(pass.Info, n, "time", "Since"):
+					pass.Reportf(n.Pos(), "wall-clock read in a deterministic package; frames must not depend on time.Since")
+				case isGlobalRandCall(pass.Info, n):
+					pass.Reportf(n.Pos(), "global math/rand RNG in a deterministic package; use an explicit rand.New(rand.NewSource(seed))")
+				}
+			case *ast.RangeStmt:
+				tv, ok := pass.Info.Types[n.X]
+				if !ok || tv.Type == nil {
+					return true
+				}
+				if _, isMap := tv.Type.Underlying().(*types.Map); isMap {
+					pass.Reportf(n.Pos(), "map iteration in a deterministic package; order is randomized per run — iterate a sorted key slice")
+				}
+			}
+			return true
+		})
+	}
+}

@@ -1,0 +1,124 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+	"regexp"
+	"strings"
+)
+
+// ErrWrap enforces the sentinel-error discipline from PR 4/5: the
+// named Err* sentinels in core, mpi, model, and serve (and stdlib
+// sentinels like io.EOF) are matched with errors.Is/As — never with
+// ==/!=, a switch, or a type assertion — and an error passed through
+// fmt.Errorf keeps its chain via %w instead of being flattened to text
+// by %v/%s. Bare `return ErrX` is allowed (identity is preserved; the
+// public entrypoints add context when they wrap).
+var ErrWrap = &Analyzer{
+	Name: "errwrap",
+	Doc:  "sentinel errors flow through errors.Is/As and fmt.Errorf %w, never ==, switch, or type assertion",
+	Run:  runErrWrap,
+}
+
+// isSentinel reports whether e denotes a package-level error variable
+// following the sentinel naming convention (ErrFoo, or the historic
+// io.EOF).
+func isSentinel(info *types.Info, e ast.Expr) bool {
+	v, ok := objectOf(info, e).(*types.Var)
+	if !ok || v.Pkg() == nil || v.Parent() != v.Pkg().Scope() {
+		return false
+	}
+	if !implementsError(v.Type()) {
+		return false
+	}
+	return v.Name() == "EOF" || sentinelName.MatchString(v.Name())
+}
+
+var sentinelName = regexp.MustCompile(`^Err[A-Z0-9]`)
+
+// wrapVerb matches a %w verb (with optional flags) in a format string.
+var wrapVerb = regexp.MustCompile(`%[#+\-0-9. ]*w`)
+
+func runErrWrap(pass *Pass) {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.BinaryExpr:
+				if n.Op != token.EQL && n.Op != token.NEQ {
+					return true
+				}
+				for _, side := range []ast.Expr{n.X, n.Y} {
+					if isSentinel(pass.Info, side) {
+						pass.Reportf(n.Pos(), "sentinel compared with %s; use errors.Is so wrapped chains match", n.Op)
+						break
+					}
+				}
+			case *ast.SwitchStmt:
+				if n.Tag == nil {
+					return true
+				}
+				for _, clause := range n.Body.List {
+					cc, ok := clause.(*ast.CaseClause)
+					if !ok {
+						continue
+					}
+					for _, e := range cc.List {
+						if isSentinel(pass.Info, e) {
+							pass.Reportf(e.Pos(), "sentinel matched by switch case; use errors.Is so wrapped chains match")
+						}
+					}
+				}
+			case *ast.TypeAssertExpr:
+				if n.Type == nil { // the x.(type) of a type switch; handled below
+					return true
+				}
+				if tv, ok := pass.Info.Types[n.X]; ok && isErrorType(tv.Type) {
+					pass.Reportf(n.Pos(), "type assertion on an error; use errors.As so wrapped chains match")
+				}
+			case *ast.TypeSwitchStmt:
+				var x ast.Expr
+				switch s := n.Assign.(type) {
+				case *ast.ExprStmt:
+					x = s.X.(*ast.TypeAssertExpr).X
+				case *ast.AssignStmt:
+					x = s.Rhs[0].(*ast.TypeAssertExpr).X
+				}
+				if tv, ok := pass.Info.Types[x]; ok && isErrorType(tv.Type) {
+					pass.Reportf(n.Pos(), "type switch on an error; use errors.As so wrapped chains match")
+				}
+			case *ast.CallExpr:
+				checkErrorfWrap(pass, n)
+			}
+			return true
+		})
+	}
+}
+
+// checkErrorfWrap flags fmt.Errorf calls that receive an error value
+// but whose format has no %w verb: the new error silently severs the
+// chain, so errors.Is/As at the call boundary stops working.
+func checkErrorfWrap(pass *Pass, call *ast.CallExpr) {
+	if !isPkgCall(pass.Info, call, "fmt", "Errorf") || len(call.Args) < 2 {
+		return
+	}
+	tv, ok := pass.Info.Types[call.Args[0]]
+	if !ok || tv.Value == nil || tv.Value.Kind() != constant.String {
+		return
+	}
+	format := constant.StringVal(tv.Value)
+	if wrapVerb.MatchString(strings.ReplaceAll(format, "%%", "")) {
+		return
+	}
+	for _, arg := range call.Args[1:] {
+		atv, ok := pass.Info.Types[arg]
+		if !ok || atv.Type == nil {
+			continue
+		}
+		if implementsError(atv.Type) {
+			pass.Reportf(call.Pos(), "error argument formatted without %%w; the chain is lost to errors.Is/As")
+			return
+		}
+	}
+}

@@ -1,0 +1,151 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// GoroutineLife enforces the goroutine-lifecycle discipline the PR 3
+// request-leak audit checked by hand: every `go` statement in the
+// runtime packages (core, mpi, serve) must be tied to a visible
+// drain/Close lifecycle, so Close can always reap what Run spawned.
+// A spawn is accepted when any of these holds:
+//
+//   - the spawning function calls WaitGroup.Add before the `go`
+//     statement (the Add/Done/Wait pattern);
+//   - the spawned function literal defers a WaitGroup.Done or a
+//     close(ch) (completion is observable);
+//   - the spawned callee is a same-package function whose body defers
+//     one of those (e.g. `go b.dispatch()` where dispatch defers
+//     close(b.done)).
+//
+// Anything else is a fire-and-forget goroutine: nothing can wait for
+// it, so Close returns while it still runs — the leak class
+// TestAbandonedRequestsNoLeak hunts dynamically.
+var GoroutineLife = &Analyzer{
+	Name:  "goroutinelife",
+	Doc:   "go statements in the runtime packages are tied to a WaitGroup or close(done) lifecycle",
+	Match: matchPackages("internal/core", "internal/mpi", "internal/serve"),
+	Run:   runGoroutineLife,
+}
+
+func runGoroutineLife(pass *Pass) {
+	for _, f := range pass.Files {
+		// Track the enclosing function bodies so rule 1 can scan the
+		// spawning scope for a preceding WaitGroup.Add.
+		var nodes []ast.Node
+		var funcs []ast.Node
+		ast.Inspect(f, func(n ast.Node) bool {
+			if n == nil {
+				top := nodes[len(nodes)-1]
+				nodes = nodes[:len(nodes)-1]
+				switch top.(type) {
+				case *ast.FuncDecl, *ast.FuncLit:
+					funcs = funcs[:len(funcs)-1]
+				}
+				return true
+			}
+			nodes = append(nodes, n)
+			switch n := n.(type) {
+			case *ast.FuncDecl, *ast.FuncLit:
+				funcs = append(funcs, n)
+			case *ast.GoStmt:
+				if goHasLifecycle(pass, n, funcs) {
+					return true
+				}
+				pass.Reportf(n.Pos(), "fire-and-forget goroutine: tie it to a WaitGroup.Add/Done or a close(done) so Close can reap it")
+			}
+			return true
+		})
+	}
+}
+
+// goHasLifecycle applies the three acceptance rules.
+func goHasLifecycle(pass *Pass, g *ast.GoStmt, funcs []ast.Node) bool {
+	// Rule 1: a WaitGroup.Add textually before the spawn in any
+	// enclosing function.
+	for _, fn := range funcs {
+		var body *ast.BlockStmt
+		switch fn := fn.(type) {
+		case *ast.FuncDecl:
+			body = fn.Body
+		case *ast.FuncLit:
+			body = fn.Body
+		}
+		if body != nil && hasAddBefore(pass, body, g.Pos()) {
+			return true
+		}
+	}
+	// Rule 2: the spawned literal's body defers Done/close.
+	if lit, ok := g.Call.Fun.(*ast.FuncLit); ok {
+		return bodyDefersLifecycle(pass, lit.Body)
+	}
+	// Rule 3: the spawned callee is a same-package function whose body
+	// defers Done/close.
+	if callee := calleeFunc(pass.Info, g.Call); callee != nil {
+		if decl, ok := pass.FuncBodies[callee]; ok && decl.Body != nil {
+			return bodyDefersLifecycle(pass, decl.Body)
+		}
+	}
+	return false
+}
+
+// hasAddBefore reports whether body contains a sync.WaitGroup.Add call
+// positioned before pos.
+func hasAddBefore(pass *Pass, body *ast.BlockStmt, pos token.Pos) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || call.Pos() >= pos || found {
+			return !found
+		}
+		if f := calleeFunc(pass.Info, call); f != nil &&
+			f.Pkg() != nil && f.Pkg().Path() == "sync" && f.Name() == "Add" {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+// bodyDefersLifecycle reports whether body defers a WaitGroup.Done or
+// a close(...), directly or inside a one-level deferred closure.
+func bodyDefersLifecycle(pass *Pass, body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		d, ok := n.(*ast.DeferStmt)
+		if !ok {
+			return true
+		}
+		if isLifecycleCall(pass, d.Call) {
+			found = true
+			return false
+		}
+		if lit, ok := d.Call.Fun.(*ast.FuncLit); ok {
+			ast.Inspect(lit.Body, func(m ast.Node) bool {
+				if call, ok := m.(*ast.CallExpr); ok && isLifecycleCall(pass, call) {
+					found = true
+				}
+				return !found
+			})
+		}
+		return !found
+	})
+	return found
+}
+
+// isLifecycleCall reports whether call is close(...) or a
+// sync.WaitGroup Done.
+func isLifecycleCall(pass *Pass, call *ast.CallExpr) bool {
+	if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok && id.Name == "close" {
+		if _, ok := pass.Info.Uses[id].(*types.Builtin); ok {
+			return true
+		}
+	}
+	f := calleeFunc(pass.Info, call)
+	return f != nil && f.Pkg() != nil && f.Pkg().Path() == "sync" && f.Name() == "Done"
+}

@@ -1,0 +1,247 @@
+package analysis
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strconv"
+	"strings"
+)
+
+// Package is one parsed, type-checked package ready for analysis.
+type Package struct {
+	ImportPath string
+	Dir        string
+	Fset       *token.FileSet
+	Files      []*ast.File
+	// Srcs maps absolute file names to their source bytes (needed by
+	// the allow-directive own-line test).
+	Srcs       map[string][]byte
+	Types      *types.Package
+	Info       *types.Info
+	FuncBodies map[*types.Func]*ast.FuncDecl
+}
+
+// listedPackage is the subset of `go list -json` output the loader
+// consumes.
+type listedPackage struct {
+	ImportPath string
+	Dir        string
+	Export     string
+	Standard   bool
+	DepOnly    bool
+	GoFiles    []string
+	Error      *struct{ Err string }
+}
+
+// goList runs `go list -deps -export -json` on the patterns from dir
+// and returns every listed package.
+func goList(dir string, patterns []string) ([]listedPackage, error) {
+	args := append([]string{
+		"list", "-deps", "-export",
+		"-json=ImportPath,Dir,Export,Standard,DepOnly,GoFiles,Error",
+	}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("analysis: go list %s: %w\n%s", strings.Join(patterns, " "), err, stderr.String())
+	}
+	var pkgs []listedPackage
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		var p listedPackage
+		if err := dec.Decode(&p); err != nil {
+			if errors.Is(err, io.EOF) {
+				break
+			}
+			return nil, fmt.Errorf("analysis: decoding go list output: %w", err)
+		}
+		if p.Error != nil {
+			return nil, fmt.Errorf("analysis: go list: %s", p.Error.Err)
+		}
+		pkgs = append(pkgs, p)
+	}
+	return pkgs, nil
+}
+
+// exportLookup adapts an importpath→exportfile map to the gc
+// importer's lookup signature.
+func exportLookup(exports map[string]string) func(string) (io.ReadCloser, error) {
+	return func(path string) (io.ReadCloser, error) {
+		file, ok := exports[path]
+		if !ok {
+			return nil, fmt.Errorf("analysis: no export data for %q", path)
+		}
+		return os.Open(file)
+	}
+}
+
+// Load enumerates the packages matching patterns (resolved relative to
+// dir, typically the module root with pattern "./..."), type-checks
+// each against build-cache export data, and returns them ready for
+// RunPackage. Only non-test Go files are loaded: the suite governs
+// shipped code.
+func Load(dir string, patterns ...string) ([]*Package, error) {
+	listed, err := goList(dir, patterns)
+	if err != nil {
+		return nil, err
+	}
+	exports := make(map[string]string)
+	var targets []listedPackage
+	for _, p := range listed {
+		if p.Export != "" {
+			exports[p.ImportPath] = p.Export
+		}
+		if !p.DepOnly && !p.Standard {
+			targets = append(targets, p)
+		}
+	}
+	fset := token.NewFileSet()
+	imp := importer.ForCompiler(fset, "gc", exportLookup(exports))
+	pkgs := make([]*Package, 0, len(targets))
+	for _, t := range targets {
+		files := make([]string, len(t.GoFiles))
+		for i, f := range t.GoFiles {
+			files[i] = filepath.Join(t.Dir, f)
+		}
+		pkg, err := typecheck(fset, imp, t.ImportPath, t.Dir, files)
+		if err != nil {
+			return nil, err
+		}
+		pkgs = append(pkgs, pkg)
+	}
+	return pkgs, nil
+}
+
+// LoadFixtureDir loads the single package rooted at dir (a testdata
+// fixture, invisible to `go list ./...`): it parses every .go file,
+// resolves the fixture's stdlib imports to export data, and
+// type-checks. Fixture packages may import the standard library only.
+func LoadFixtureDir(dir string) (*Package, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("analysis: fixture %s: %w", dir, err)
+	}
+	var files []string
+	for _, e := range entries {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") {
+			files = append(files, filepath.Join(dir, e.Name()))
+		}
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("analysis: fixture %s: no .go files", dir)
+	}
+
+	// A throwaway parse collects the imports so one `go list` resolves
+	// their export data (compiling them into the build cache on first
+	// use).
+	impSet := map[string]bool{}
+	scanFset := token.NewFileSet()
+	for _, f := range files {
+		af, err := parser.ParseFile(scanFset, f, nil, parser.ImportsOnly)
+		if err != nil {
+			return nil, fmt.Errorf("analysis: fixture %s: %w", dir, err)
+		}
+		for _, im := range af.Imports {
+			p, _ := strconv.Unquote(im.Path.Value)
+			if p != "" && p != "unsafe" {
+				impSet[p] = true
+			}
+		}
+	}
+	exports := make(map[string]string)
+	if len(impSet) > 0 {
+		patterns := make([]string, 0, len(impSet))
+		for p := range impSet {
+			patterns = append(patterns, p)
+		}
+		listed, err := goList(dir, patterns)
+		if err != nil {
+			return nil, err
+		}
+		for _, p := range listed {
+			if p.Export != "" {
+				exports[p.ImportPath] = p.Export
+			}
+		}
+	}
+	fset := token.NewFileSet()
+	imp := importer.ForCompiler(fset, "gc", exportLookup(exports))
+	return typecheck(fset, imp, "fixture/"+filepath.Base(dir), dir, files)
+}
+
+// typecheck parses files and runs go/types over them with full use,
+// type, and selection information recorded.
+func typecheck(fset *token.FileSet, imp types.Importer, importPath, dir string, files []string) (*Package, error) {
+	pkg := &Package{
+		ImportPath: importPath,
+		Dir:        dir,
+		Fset:       fset,
+		Srcs:       make(map[string][]byte, len(files)),
+		FuncBodies: make(map[*types.Func]*ast.FuncDecl),
+	}
+	for _, name := range files {
+		src, err := os.ReadFile(name)
+		if err != nil {
+			return nil, fmt.Errorf("analysis: %w", err)
+		}
+		f, err := parser.ParseFile(fset, name, src, parser.ParseComments)
+		if err != nil {
+			return nil, fmt.Errorf("analysis: %w", err)
+		}
+		pkg.Srcs[name] = src
+		pkg.Files = append(pkg.Files, f)
+	}
+	pkg.Info = &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+	}
+	conf := types.Config{Importer: imp}
+	tpkg, err := conf.Check(importPath, fset, pkg.Files, pkg.Info)
+	if err != nil {
+		return nil, fmt.Errorf("analysis: type-checking %s: %w", importPath, err)
+	}
+	pkg.Types = tpkg
+	for _, f := range pkg.Files {
+		for _, decl := range f.Decls {
+			if fd, ok := decl.(*ast.FuncDecl); ok {
+				if obj, ok := pkg.Info.Defs[fd.Name].(*types.Func); ok {
+					pkg.FuncBodies[obj] = fd
+				}
+			}
+		}
+	}
+	return pkg, nil
+}
+
+// ModuleRoot locates the enclosing module's root directory starting
+// from dir (the directory holding go.mod), so tests running in a
+// package directory can analyze the whole tree.
+func ModuleRoot(dir string) (string, error) {
+	cmd := exec.Command("go", "env", "GOMOD")
+	cmd.Dir = dir
+	out, err := cmd.Output()
+	if err != nil {
+		return "", fmt.Errorf("analysis: go env GOMOD: %w", err)
+	}
+	gomod := strings.TrimSpace(string(out))
+	if gomod == "" || gomod == os.DevNull {
+		return "", fmt.Errorf("analysis: no enclosing module at %s", dir)
+	}
+	return filepath.Dir(gomod), nil
+}

@@ -1,0 +1,144 @@
+package analysis
+
+import (
+	"crypto/sha256"
+	"encoding/json"
+	"fmt"
+	"go/importer"
+	"go/token"
+	"io"
+	"os"
+	"strings"
+)
+
+// This file implements the (unpublished) vet command-line protocol —
+// the same contract golang.org/x/tools/go/analysis/unitchecker
+// implements — so cmd/repolint can run as `go vet -vettool=repolint`.
+// The go command drives the tool in three ways:
+//
+//	repolint -V=full     print a version line ending in buildID=<hash>
+//	repolint -flags      print the tool's flags as JSON (we have none)
+//	repolint <file>.cfg  analyze one package described by the config
+//
+// The .cfg file is JSON (see cmd/go/internal/work.vetConfig): the
+// package's files, its import map, and the export-data file of every
+// dependency. Facts are not used by this suite, so the vetx output is
+// written empty. Diagnostics go to stderr in file:line:col form and
+// the process exits 2, which go vet reports per package.
+
+// vetConfig mirrors the fields of cmd/go's vet config this driver
+// consumes.
+type vetConfig struct {
+	ID                        string
+	Compiler                  string
+	Dir                       string
+	ImportPath                string
+	GoFiles                   []string
+	ImportMap                 map[string]string
+	PackageFile               map[string]string
+	VetxOnly                  bool
+	VetxOutput                string
+	SucceedOnTypecheckFailure bool
+}
+
+// VetToolMain handles the vet protocol entrypoints if args match one;
+// it returns false when args are not a vet-protocol invocation (and
+// the caller should run in standalone mode). On protocol invocations
+// it exits the process itself.
+func VetToolMain(args []string, analyzers []*Analyzer) bool {
+	if len(args) != 1 {
+		return false
+	}
+	switch {
+	case args[0] == "-V=full":
+		printVersion()
+		os.Exit(0)
+	case args[0] == "-flags":
+		// No tool-specific flags; go vet requires valid JSON here.
+		fmt.Println("[]")
+		os.Exit(0)
+	case strings.HasSuffix(args[0], ".cfg"):
+		os.Exit(runVetCfg(args[0], analyzers))
+	}
+	return false
+}
+
+// printVersion emits the -V=full line cmd/go's toolID parser expects:
+// "name version devel ... buildID=<content hash>", so the analysis
+// cache is keyed by the tool binary's content and invalidates when the
+// analyzers change.
+func printVersion() {
+	h := sha256.New()
+	if exe, err := os.Executable(); err == nil {
+		if f, err := os.Open(exe); err == nil {
+			_, _ = io.Copy(h, f)
+			// Best-effort hash of our own binary; a read error only
+			// weakens cache keying.
+			//repolint:allow closecheck -- read-only handle, hash already computed
+			f.Close()
+		}
+	}
+	fmt.Printf("repolint version devel buildID=%x\n", h.Sum(nil))
+}
+
+// runVetCfg analyzes the single package described by cfgPath.
+func runVetCfg(cfgPath string, analyzers []*Analyzer) int {
+	data, err := os.ReadFile(cfgPath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "repolint: %v\n", err)
+		return 1
+	}
+	var cfg vetConfig
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		fmt.Fprintf(os.Stderr, "repolint: parsing %s: %v\n", cfgPath, err)
+		return 1
+	}
+	// go vet expects the facts file to exist after the run even though
+	// this suite records no facts.
+	if cfg.VetxOutput != "" {
+		if err := os.WriteFile(cfg.VetxOutput, []byte{}, 0o666); err != nil {
+			fmt.Fprintf(os.Stderr, "repolint: writing vetx output: %v\n", err)
+			return 1
+		}
+	}
+
+	fset := token.NewFileSet()
+	lookup := func(path string) (io.ReadCloser, error) {
+		if mapped, ok := cfg.ImportMap[path]; ok {
+			path = mapped
+		}
+		file, ok := cfg.PackageFile[path]
+		if !ok {
+			return nil, fmt.Errorf("repolint: no export data for %q", path)
+		}
+		return os.Open(file)
+	}
+	compiler := cfg.Compiler
+	if compiler == "" {
+		compiler = "gc"
+	}
+	imp := importer.ForCompiler(fset, compiler, lookup)
+	importPath, _, _ := strings.Cut(cfg.ImportPath, " [")
+	pkg, err := typecheck(fset, imp, importPath, cfg.Dir, cfg.GoFiles)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			return 0
+		}
+		fmt.Fprintf(os.Stderr, "repolint: %v\n", err)
+		return 1
+	}
+	if cfg.VetxOnly {
+		return 0
+	}
+	// Match against the canonical non-test import path so the test
+	// variant of internal/mpi is governed like internal/mpi itself.
+	pkg.ImportPath = strings.TrimSuffix(importPath, "_test")
+	diags := RunPackage(pkg, analyzers)
+	for _, d := range diags {
+		fmt.Fprintln(os.Stderr, d)
+	}
+	if len(diags) > 0 {
+		return 2
+	}
+	return 0
+}
