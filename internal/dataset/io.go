@@ -22,10 +22,21 @@ func (d *Dataset) Save(path string) error {
 	if err != nil {
 		return fmt.Errorf("dataset: save: %w", err)
 	}
-	defer f.Close()
-	enc := gob.NewEncoder(f)
-	if err := enc.Encode(wireDataset{Grid: d.Grid, Dt: d.Dt, Snapshots: d.Snapshots}); err != nil {
+	if err := gob.NewEncoder(f).Encode(wireDataset{Grid: d.Grid, Dt: d.Dt, Snapshots: d.Snapshots}); err != nil {
+		//repolint:allow closecheck -- error path: the encode error is already being returned
+		f.Close()
 		return fmt.Errorf("dataset: save %s: %w", path, err)
+	}
+	if err := f.Sync(); err != nil {
+		//repolint:allow closecheck -- error path: the sync error is already being returned
+		f.Close()
+		return fmt.Errorf("dataset: save %s: sync: %w", path, err)
+	}
+	// Close errors are load-bearing on write: a full disk may surface
+	// ENOSPC only here, and a discarded one means a silently truncated
+	// dataset.
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("dataset: save %s: close: %w", path, err)
 	}
 	return nil
 }
