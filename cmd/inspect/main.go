@@ -176,6 +176,12 @@ func writeImage(path string, f *tensor.Tensor, render func(w io.Writer, f *tenso
 	if err != nil {
 		return err
 	}
-	defer file.Close()
-	return render(file, f)
+	if err := render(file, f); err != nil {
+		//repolint:allow closecheck -- error path: the render error is already being returned
+		file.Close()
+		return err
+	}
+	// The render's buffered writes may flush at Close; discarding its
+	// error could report a truncated image as written.
+	return file.Close()
 }
