@@ -5,6 +5,7 @@ import (
 	"context"
 	"encoding/gob"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"net/http"
@@ -170,7 +171,7 @@ func (c *Client) rolloutPath(ctx context.Context, path string, steps int, states
 	}
 	for k := 0; k < steps; k++ {
 		f, err := next()
-		if err == io.EOF {
+		if errors.Is(err, io.EOF) {
 			return fmt.Errorf("serve: rollout stream ended after %d of %d frames", k, steps)
 		}
 		if err != nil {
