@@ -285,10 +285,12 @@ func writeFileSync(path string, data []byte) error {
 		return err
 	}
 	if _, err := f.Write(data); err != nil {
+		//repolint:allow closecheck -- error path: the write error is already being returned
 		f.Close()
 		return fmt.Errorf("write %s: %w", path, err)
 	}
 	if err := f.Sync(); err != nil {
+		//repolint:allow closecheck -- error path: the sync error is already being returned
 		f.Close()
 		return fmt.Errorf("sync %s: %w", path, err)
 	}

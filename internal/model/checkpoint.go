@@ -48,10 +48,12 @@ func (ck *Checkpoint) Save(path string) (err error) {
 		}
 	}()
 	if err := gob.NewEncoder(f).Encode(ck); err != nil {
+		//repolint:allow closecheck -- error path: the encode error is already being returned
 		f.Close()
 		return fmt.Errorf("model: checkpoint save %s: %w", path, err)
 	}
 	if err := f.Sync(); err != nil {
+		//repolint:allow closecheck -- error path: the sync error is already being returned
 		f.Close()
 		return fmt.Errorf("model: checkpoint save %s: sync: %w", path, err)
 	}

@@ -407,6 +407,7 @@ func (t *chaosTransport) verify(rank int, m Message) (Message, error) {
 		return Message{}, fmt.Errorf("mpi: chaos: rank %d: lost message on link %d->%d (got seq %d after %d: %d message(s) dropped)", rank, m.From, rank, seq, l.recvSeq, seq-l.recvSeq-1)
 	}
 	l.recvSeq = seq
+	//repolint:allow detpath -- arrival timestamp feeds the starvation report, never a frame
 	l.lastRecv = time.Now()
 	m.Data = m.Data[chaosHeaderLen:]
 	return m, nil
@@ -435,6 +436,7 @@ func (t *chaosTransport) starvationReport(rank int) string {
 			l.mu.Lock()
 			st.seq = l.recvSeq
 			if !l.lastRecv.IsZero() {
+				//repolint:allow detpath -- idle age is diagnostic text in a failure report
 				st.idle = time.Since(l.lastRecv)
 				st.never = false
 			}
@@ -467,6 +469,7 @@ func (t *chaosTransport) starvationReport(rank int) string {
 // deadline, so a starved rank reports an attributed error instead of
 // hanging forever (the no-hang half of the fail-stop contract).
 func (t *chaosTransport) Recv(rank int) (Message, error) {
+	//repolint:allow detpath -- receive deadline: the no-hang guarantee needs the wall clock
 	deadline := time.Now().Add(t.plan.RecvTimeout)
 	for {
 		m, ok, err := t.inner.TryRecv(rank)
@@ -476,6 +479,7 @@ func (t *chaosTransport) Recv(rank int) (Message, error) {
 		if ok {
 			return t.verify(rank, m)
 		}
+		//repolint:allow detpath -- receive deadline: the no-hang guarantee needs the wall clock
 		if time.Now().After(deadline) {
 			return Message{}, fmt.Errorf("mpi: chaos: rank %d: receive deadline (%v) exceeded — %s", rank, t.plan.RecvTimeout, t.starvationReport(rank))
 		}
