@@ -151,6 +151,7 @@ func dialTCPTransport(cfg TCPConfig, capacity int) (*tcpTransport, error) {
 	if timeout <= 0 {
 		timeout = 30 * time.Second
 	}
+	//repolint:allow detpath -- rendezvous deadline; handshake timing never reaches frames
 	deadline := time.Now().Add(timeout)
 
 	t := &tcpTransport{
@@ -392,6 +393,7 @@ func (t *tcpTransport) writer(p *tcpPeer) {
 			// would park this goroutine in conn.Write forever and
 			// deadlock Close on writerWg.Wait. The write deadline
 			// converts that into a timed-out, abandoned backlog.
+			//repolint:allow detpath -- drain deadline bounds Close, after all frames are done
 			p.conn.SetWriteDeadline(time.Now().Add(5 * time.Second))
 			for {
 				select {
@@ -473,11 +475,15 @@ func tcpReadFrame(br *bufio.Reader) (tag int, data []float64, err error) {
 	if n == 0 {
 		return tag, nil, nil
 	}
-	data = make([]float64, n)
+	// Grow the slice as payload actually arrives instead of trusting
+	// the header with one n-sized make: a corrupt length field on a
+	// short stream then fails with a read error after at most one
+	// chunk, not a multi-GiB allocation (FuzzTCPReadFrameHostile).
 	const chunkElems = 8192
 	var chunk [8 * chunkElems]byte
-	for off := 0; off < len(data); off += chunkElems {
-		m := len(data) - off
+	data = make([]float64, 0, min(n, chunkElems))
+	for uint64(len(data)) < n {
+		m := int(n - uint64(len(data)))
 		if m > chunkElems {
 			m = chunkElems
 		}
@@ -485,7 +491,7 @@ func tcpReadFrame(br *bufio.Reader) (tag int, data []float64, err error) {
 			return 0, nil, err
 		}
 		for i := 0; i < m; i++ {
-			data[off+i] = math.Float64frombits(binary.LittleEndian.Uint64(chunk[8*i : 8*i+8]))
+			data = append(data, math.Float64frombits(binary.LittleEndian.Uint64(chunk[8*i:8*i+8])))
 		}
 	}
 	return tag, data, nil
