@@ -1,0 +1,153 @@
+package analysis
+
+import (
+	"fmt"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"testing"
+)
+
+// wantRe extracts `// want `regex“ (or "regex") expectations from
+// fixture comments, analysistest-style. One comment may carry several.
+var wantRe = regexp.MustCompile("want\\s+((?:`[^`]*`|\"(?:[^\"\\\\]|\\\\.)*\")(?:\\s+(?:`[^`]*`|\"(?:[^\"\\\\]|\\\\.)*\"))*)")
+
+var wantArgRe = regexp.MustCompile("`[^`]*`|\"(?:[^\"\\\\]|\\\\.)*\"")
+
+// expectation is one want: a diagnostic on file:line whose message
+// matches re.
+type expectation struct {
+	file    string
+	line    int
+	re      *regexp.Regexp
+	matched bool
+}
+
+// parseWants collects every expectation declared in the package's
+// fixture comments.
+func parseWants(t *testing.T, pkg *Package) []*expectation {
+	t.Helper()
+	var wants []*expectation
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := wantRe.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				for _, arg := range wantArgRe.FindAllString(m[1], -1) {
+					var pat string
+					if arg[0] == '`' {
+						pat = arg[1 : len(arg)-1]
+					} else {
+						var err error
+						pat, err = strconv.Unquote(arg)
+						if err != nil {
+							t.Fatalf("%s:%d: bad want string %s: %v", pos.Filename, pos.Line, arg, err)
+						}
+					}
+					re, err := regexp.Compile(pat)
+					if err != nil {
+						t.Fatalf("%s:%d: bad want regexp %q: %v", pos.Filename, pos.Line, pat, err)
+					}
+					wants = append(wants, &expectation{file: pos.Filename, line: pos.Line, re: re})
+				}
+			}
+		}
+	}
+	return wants
+}
+
+// runFixture loads testdata/src/<name>, runs the analyzer with Match
+// bypassed (the filter scopes the real tree, not the semantics), and
+// diffs findings against the want expectations.
+func runFixture(t *testing.T, a *Analyzer) {
+	t.Helper()
+	pkg, err := LoadFixtureDir(filepath.Join("testdata", "src", a.Name))
+	if err != nil {
+		t.Fatal(err)
+	}
+	wants := parseWants(t, pkg)
+	if len(wants) == 0 {
+		t.Fatalf("fixture %s declares no wants; a fixture must have at least one positive case", a.Name)
+	}
+	unscoped := &Analyzer{Name: a.Name, Doc: a.Doc, Run: a.Run}
+	diags := RunPackage(pkg, []*Analyzer{unscoped})
+	for _, d := range diags {
+		found := false
+		for _, w := range wants {
+			if !w.matched && w.file == d.Pos.Filename && w.line == d.Pos.Line && w.re.MatchString(d.Message) {
+				w.matched = true
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("unexpected diagnostic: %s", d)
+		}
+	}
+	for _, w := range wants {
+		if !w.matched {
+			t.Errorf("%s:%d: no diagnostic matched want %q", w.file, w.line, w.re)
+		}
+	}
+}
+
+// TestFixtures runs every analyzer against its positive/negative
+// fixture package under testdata/src.
+func TestFixtures(t *testing.T) {
+	for _, a := range All() {
+		t.Run(a.Name, func(t *testing.T) { runFixture(t, a) })
+	}
+}
+
+// TestRepoTreeIsClean runs the full suite over the real tree and
+// demands zero findings. This makes the clean-tree invariant tier-1:
+// a violation anywhere in the repo fails `go test ./...`, not just
+// the lint job.
+func TestRepoTreeIsClean(t *testing.T) {
+	root, err := ModuleRoot(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkgs, err := Load(root, "./...")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkgs) == 0 {
+		t.Fatal("Load returned no packages")
+	}
+	var all []Diagnostic
+	for _, pkg := range pkgs {
+		all = append(all, RunPackage(pkg, All())...)
+	}
+	for _, d := range all {
+		t.Errorf("%s", d)
+	}
+	if t.Failed() {
+		t.Logf("fix the findings or add a //repolint:allow <name> -- <reason> directive")
+	}
+}
+
+// TestParseAllow pins the directive grammar.
+func TestParseAllow(t *testing.T) {
+	cases := []struct {
+		text  string
+		names []string
+		ok    bool
+	}{
+		{"//repolint:allow detpath -- timeout bookkeeping", []string{"detpath"}, true},
+		{"//repolint:allow errwrap,detpath -- two at once", []string{"errwrap", "detpath"}, true},
+		{"//repolint:allow errwrap detpath", []string{"errwrap", "detpath"}, true},
+		{"//repolint:allow", nil, false},
+		{"//repolint:allowx detpath", nil, false},
+		{"// repolint:allow detpath", nil, false},
+	}
+	for _, c := range cases {
+		names, ok := parseAllow(c.text)
+		if ok != c.ok || fmt.Sprint(names) != fmt.Sprint(c.names) {
+			t.Errorf("parseAllow(%q) = %v, %v; want %v, %v", c.text, names, ok, c.names, c.ok)
+		}
+	}
+}

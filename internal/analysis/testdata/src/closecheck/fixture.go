@@ -1,0 +1,68 @@
+// Package fixture exercises the closecheck analyzer: write-mode file
+// handles must have their Close error checked.
+package fixture
+
+import "os"
+
+func writeDeferred(path string, data []byte) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close() // want `Close error of write-mode handle f discarded by defer`
+	_, err = f.Write(data)
+	return err
+}
+
+func writeBare(path string) {
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_CREATE, 0o644)
+	if err != nil {
+		return
+	}
+	f.Close() // want `Close error of write-mode handle f discarded`
+}
+
+func writeTemp(dir string) error {
+	f, err := os.CreateTemp(dir, "tmp-*")
+	if err != nil {
+		return err
+	}
+	defer f.Close() // want `Close error of write-mode handle f discarded by defer`
+	return nil
+}
+
+func writeChecked(path string, data []byte) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(data); err != nil {
+		//repolint:allow closecheck -- error path: the write error is already being returned
+		f.Close()
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		//repolint:allow closecheck -- error path: the sync error is already being returned
+		f.Close()
+		return err
+	}
+	return f.Close() // negative: the error is returned
+}
+
+func writeAssigned(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	err = f.Close() // negative: the error is captured
+	return err
+}
+
+func readOnly(path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close() // negative: read-only handle, no durability at stake
+	return nil
+}

@@ -1,0 +1,37 @@
+// Package fixture exercises the ctxflow analyzer: a function receiving
+// a context.Context must never replace it with a fresh root.
+package fixture
+
+import (
+	"context"
+	"time"
+)
+
+func callee(ctx context.Context) error { return ctx.Err() }
+
+func governed(ctx context.Context) {
+	_ = callee(context.Background()) // want `context.Background inside a function that receives a context`
+	_ = callee(context.TODO())       // want `context.TODO inside a function that receives a context`
+	_ = callee(ctx)                  // negative: the caller's ctx
+	derived, cancel := context.WithTimeout(ctx, time.Second)
+	defer cancel()
+	_ = callee(derived) // negative: derived from the caller's ctx
+}
+
+func governedClosure(ctx context.Context) {
+	run := func() {
+		// The closure closes over ctx, so it is still governed.
+		_ = callee(context.Background()) // want `context.Background inside a function that receives a context`
+	}
+	run()
+}
+
+func root() {
+	// negative: no ctx parameter — a legitimate context root.
+	_ = callee(context.Background())
+}
+
+func escaped(ctx context.Context) {
+	//repolint:allow ctxflow -- intentionally detached: survives the request by design
+	_ = callee(context.Background())
+}

@@ -1,0 +1,59 @@
+// Package fixture exercises the detpath analyzer: no wall clock,
+// global RNG, or map iteration in deterministic packages.
+package fixture
+
+import (
+	"math/rand"
+	"sort"
+	"time"
+)
+
+func wallClock() time.Time {
+	return time.Now() // want `wall-clock read`
+}
+
+func elapsed(t0 time.Time) time.Duration {
+	return time.Since(t0) // want `wall-clock read`
+}
+
+func globalRand() float64 {
+	return rand.Float64() // want `global math/rand RNG`
+}
+
+func globalShuffle(xs []int) {
+	rand.Shuffle(len(xs), func(i, j int) { xs[i], xs[j] = xs[j], xs[i] }) // want `global math/rand RNG`
+}
+
+func seeded(seed int64) float64 {
+	return rand.New(rand.NewSource(seed)).Float64() // negative: explicit seeded RNG
+}
+
+func mapIter(m map[string]int) int {
+	s := 0
+	for _, v := range m { // want `map iteration`
+		s += v
+	}
+	return s
+}
+
+func sortedIter(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m { // want `map iteration`
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+func sliceIter(xs []int) int {
+	s := 0
+	for _, v := range xs { // negative: slices iterate in order
+		s += v
+	}
+	return s
+}
+
+func escapedDeadline() time.Time {
+	//repolint:allow detpath -- timeout bookkeeping, never frame content
+	return time.Now()
+}

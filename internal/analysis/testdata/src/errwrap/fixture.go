@@ -1,0 +1,79 @@
+// Package fixture exercises the errwrap analyzer: sentinel errors must
+// flow through errors.Is/As and %w, never ==, switch, or assertion.
+package fixture
+
+import (
+	"errors"
+	"fmt"
+	"io"
+)
+
+// ErrBad is a sentinel by the Err* naming convention.
+var ErrBad = errors.New("bad")
+
+func compare(err error) bool {
+	if err == ErrBad { // want `sentinel compared with ==`
+		return true
+	}
+	if err != ErrBad { // want `sentinel compared with !=`
+		return false
+	}
+	if errors.Is(err, ErrBad) { // negative: the required form
+		return true
+	}
+	return err == io.EOF // want `sentinel compared with ==`
+}
+
+func compareNil(err error) bool {
+	return err == nil // negative: nil checks are not sentinel matches
+}
+
+func switchOn(err error) int {
+	switch err {
+	case ErrBad: // want `sentinel matched by switch case`
+		return 1
+	case nil:
+		return 0
+	}
+	return 2
+}
+
+type opError struct{ msg string }
+
+func (e *opError) Error() string { return e.msg }
+
+func assert(err error) bool {
+	if _, ok := err.(*opError); ok { // want `type assertion on an error`
+		return true
+	}
+	var oe *opError
+	if errors.As(err, &oe) { // negative: the required form
+		return true
+	}
+	switch err.(type) { // want `type switch on an error`
+	case *opError:
+		return true
+	}
+	return false
+}
+
+func assertNonError(v any) bool {
+	_, ok := v.(*opError) // negative: v is not statically an error
+	return ok
+}
+
+func wrap(err error) error {
+	if err != nil {
+		return fmt.Errorf("op failed: %v", err) // want `error argument formatted without %w`
+	}
+	return fmt.Errorf("op failed: %w", err) // negative: chain preserved
+}
+
+func wrapString(name string) error {
+	return fmt.Errorf("op %q failed", name) // negative: no error argument
+}
+
+func escaped(err error) bool {
+	//repolint:allow errwrap -- documenting the escape hatch
+	return err == ErrBad
+}

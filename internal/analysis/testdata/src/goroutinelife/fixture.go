@@ -1,0 +1,58 @@
+// Package fixture exercises the goroutinelife analyzer: every go
+// statement needs a visible WaitGroup or close(done) lifecycle.
+package fixture
+
+import "sync"
+
+type server struct {
+	wg   sync.WaitGroup
+	done chan struct{}
+}
+
+func (s *server) loop() {
+	defer close(s.done)
+}
+
+func (s *server) compute() {}
+
+func (s *server) startTracked() {
+	s.wg.Add(1)
+	go func() { // negative: Add precedes the spawn
+		defer s.wg.Done()
+		s.compute()
+	}()
+}
+
+func (s *server) startLoop() {
+	go s.loop() // negative: the callee defers close(s.done)
+}
+
+func (s *server) startDeferredDone() {
+	go func() { // negative: the body defers a WaitGroup.Done
+		defer s.wg.Done()
+	}()
+}
+
+func (s *server) startClosureDone() {
+	go func() { // negative: the deferred closure calls Done
+		defer func() {
+			s.compute()
+			s.wg.Done()
+		}()
+	}()
+}
+
+func (s *server) fireAndForget() {
+	go func() { // want `fire-and-forget goroutine`
+		s.compute()
+	}()
+}
+
+func (s *server) fireNamed() {
+	go s.compute() // want `fire-and-forget goroutine`
+}
+
+func (s *server) escaped() {
+	//repolint:allow goroutinelife -- demo: lifecycle managed by the process exit
+	go s.compute()
+}
