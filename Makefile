@@ -1,13 +1,23 @@
 # Single source of truth for the build/verify commands: CI
-# (.github/workflows/ci.yml) and humans run the identical targets.
+# (.github/workflows/ci.yml, nightly.yml) and humans run the identical
+# targets.
 #
 # Toolchain: Go 1.24 — pinned identically in go.mod, every ci.yml job
 # and the go version recorded in BENCH_baseline.json, so benchdiff
 # deltas never measure a toolchain drift.
+#
+# Static analysis: `make lint` runs go vet plus cmd/repolint, the
+# repo's own invariant analyzers (DESIGN.md §12); staticcheck joins in
+# when installed (CI always installs it). `make fuzz-smoke` gives each
+# native fuzz target a short budget; `make race-stress` is the nightly
+# shuffled -race soak.
 
 GO ?= go
 
-.PHONY: build test vet fmt race bench bench-smoke bench-baseline bench-compare smoke smoke-tcp smoke-serve smoke-swap smoke-chaos ci
+# Per-target budget for fuzz-smoke; CI keeps the default.
+FUZZTIME ?= 30s
+
+.PHONY: build test vet fmt race bench bench-smoke bench-baseline bench-compare smoke smoke-tcp smoke-serve smoke-swap smoke-chaos lint fuzz-smoke race-stress ci
 
 build:
 	$(GO) build ./...
@@ -102,4 +112,34 @@ smoke-chaos:
 bench-compare:
 	scripts/bench_compare.sh
 
-ci: build fmt vet test race bench-smoke smoke smoke-tcp smoke-serve smoke-swap smoke-chaos
+# Blocking static analysis: go vet, then the repo's own invariant
+# analyzers (errwrap, ctxflow, goroutinelife, detpath, closecheck —
+# DESIGN.md §12). staticcheck is guarded because the dev container has
+# no network to install it; CI always installs and runs it, so the
+# guard relaxes laptops, never the gate.
+lint: vet
+	$(GO) run ./cmd/repolint ./...
+	@if command -v staticcheck >/dev/null 2>&1; then \
+		staticcheck -checks all,-ST1000,-ST1003 ./...; \
+	else \
+		echo "lint: staticcheck not installed, skipping (CI runs it)"; \
+	fi
+
+# Native fuzz targets (internal/mpi: wire-frame codec and the chaos
+# rule DSL), FUZZTIME each. `go test -fuzz` accepts exactly one
+# target per invocation, hence the loop.
+FUZZ_TARGETS = FuzzTCPFrameRoundTrip FuzzTCPReadFrameHostile FuzzParseChaosRules
+
+fuzz-smoke:
+	@for t in $(FUZZ_TARGETS); do \
+		echo "fuzz-smoke: $$t ($(FUZZTIME))"; \
+		$(GO) test ./internal/mpi/ -run '^$$' -fuzz "^$$t$$" -fuzztime $(FUZZTIME) || exit 1; \
+	done
+
+# Nightly race soak: three shuffled -race repetitions of the internal
+# packages, so order-dependent races that a single -race pass misses
+# still surface (.github/workflows/nightly.yml).
+race-stress:
+	$(GO) test -race -count=3 -shuffle=on ./internal/...
+
+ci: build fmt lint test race bench-smoke fuzz-smoke smoke smoke-tcp smoke-serve smoke-swap smoke-chaos
