@@ -685,6 +685,121 @@ func BenchmarkHaloOverlapVsBlocking(b *testing.B) {
 }
 
 // -----------------------------------------------------------------------------
+// DESIGN.md §13 — float32 serving path vs the float64 reference.
+// -----------------------------------------------------------------------------
+
+// BenchmarkPrecisionRollout measures what core.WithPrecision(nn.F32)
+// buys on the BenchmarkHaloOverlapVsBlocking/mem shapes: the same
+// trained 2×2 NeighborPad ensemble, the same 8-step in-process
+// rollout, once per precision. The f32 cell reports speedup_vs_f64
+// (per-op time ratio against the f64 cell run in the same
+// invocation); frames agree to the EXPERIMENTS.md error budget
+// (asserted by core.TestEngineF32RolloutWithinBudget, not here).
+// scripts/bench.sh snapshots steps_per_s for both cells into
+// BENCH_baseline.json.
+func BenchmarkPrecisionRollout(b *testing.B) {
+	ds := getDataset(b, 64, 8)
+	cfg := core.DefaultTrainConfig()
+	cfg.Epochs = 1
+	cfg.Model.Strategy = model.NeighborPad
+	res := trainBench(b, ds, 2, 2, cfg)
+	ens := res.Ensemble()
+	const depth = 8
+	ctx := context.Background()
+	var f64PerOp float64
+	for _, prec := range []nn.Precision{nn.F64, nn.F32} {
+		b.Run(prec.String(), func(b *testing.B) {
+			eng, err := core.NewEngine(ens, core.WithPrecision(prec))
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				ses, err := eng.NewSession(ctx, ds.Snapshots[0])
+				if err != nil {
+					b.Fatal(err)
+				}
+				if err := ses.Run(ctx, depth, nil); err != nil {
+					b.Fatal(err)
+				}
+				ses.Close()
+			}
+			b.StopTimer()
+			perOp := b.Elapsed().Seconds() / float64(b.N)
+			if secs := b.Elapsed().Seconds(); secs > 0 {
+				b.ReportMetric(float64(depth*b.N)/secs, "steps_per_s")
+			}
+			if prec == nn.F64 {
+				f64PerOp = perOp
+			} else if f64PerOp > 0 && perOp > 0 {
+				b.ReportMetric(f64PerOp/perOp, "speedup_vs_f64")
+			}
+		})
+	}
+}
+
+// steadyStateNet builds the whole-frame Table-I network pinned to the
+// float32 path for the zero-alloc rollout loop: shape-preserving
+// (zero-padding strategy), so a predicted frame feeds straight back in.
+func steadyStateNet(tb testing.TB) *nn.Sequential {
+	tb.Helper()
+	m, err := model.Build(model.PaperConfig())
+	if err != nil {
+		tb.Fatal(err)
+	}
+	if err := m.SetPrecision(nn.F32); err != nil {
+		tb.Fatal(err)
+	}
+	return m
+}
+
+// BenchmarkSteadyStateRollout is the zero-alloc contract of the fused
+// f32 hot loop as a gated benchmark: an autoregressive whole-frame
+// rollout on the Table-I network at 64×64, ping-ponging between two
+// preallocated frames via ForwardInto. After the warmup iteration the
+// steady state must report allocs_per_op == 0 — the bench-regression
+// gate treats any growth from a zero baseline as a failure, and
+// TestSteadyStateRolloutZeroAlloc asserts the same contract in the
+// ordinary test suite.
+func BenchmarkSteadyStateRollout(b *testing.B) {
+	m := steadyStateNet(b)
+	g := tensor.NewRNG(1)
+	x := tensor.Normal(g, 0, 1, 1, grid.NumChannels, 64, 64)
+	y := tensor.New(1, grid.NumChannels, 64, 64)
+	m.ForwardInto(x, y) // warm the arena and caches
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.ForwardInto(x, y)
+		x, y = y, x
+	}
+	b.StopTimer()
+	if secs := b.Elapsed().Seconds(); secs > 0 {
+		b.ReportMetric(float64(b.N)/secs, "steps_per_s")
+	}
+}
+
+// TestSteadyStateRolloutZeroAlloc asserts the benchmark's contract
+// outside the bench harness, so `go test ./...` catches an allocation
+// creeping into the hot loop without anyone running benchmarks.
+func TestSteadyStateRolloutZeroAlloc(t *testing.T) {
+	m := steadyStateNet(t)
+	g := tensor.NewRNG(1)
+	x := tensor.Normal(g, 0, 1, 1, grid.NumChannels, 64, 64)
+	y := tensor.New(1, grid.NumChannels, 64, 64)
+	m.ForwardInto(x, y)
+	m.ForwardInto(y, x)
+	allocs := testing.AllocsPerRun(20, func() {
+		m.ForwardInto(x, y)
+		x, y = y, x
+	})
+	if allocs != 0 {
+		t.Fatalf("steady-state rollout step allocates %.1f objects/op, want 0", allocs)
+	}
+}
+
+// -----------------------------------------------------------------------------
 // Serving API — concurrent sessions over one engine.
 // -----------------------------------------------------------------------------
 

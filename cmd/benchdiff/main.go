@@ -13,12 +13,19 @@
 //     drop more than -max-drop-pct (default 15%);
 //   - allocs_per_op must not grow more than -max-alloc-growth-pct
 //     (default 10%) — allocation counts are deterministic, so this is
-//     the noise-free half of the gate.
+//     the noise-free half of the gate. A zero-alloc baseline is gated
+//     absolutely: any allocation at all is a regression, since the
+//     percentage threshold is meaningless against zero.
 //
 // Wall-clock metrics (ns_per_op) are reported but never gated: shared
 // CI runners make them too noisy for a hard threshold. Benchmarks
 // missing from either side and a Go-version mismatch are warnings,
 // not failures, so adding or retiring a benchmark doesn't wedge CI.
+// When the baseline was captured on a single-CPU host (cpus == 1 in
+// the snapshot), throughput drops on worker-/session-scaling variants
+// (names containing "workers=" or "sessions=") are downgraded to
+// warnings: a 1-CPU baseline encodes no scaling information, so the
+// delta measures the host, not the change under review.
 package main
 
 import (
@@ -26,7 +33,9 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"math"
 	"os"
+	"strings"
 )
 
 // BenchFile mirrors the JSON scripts/bench.sh writes.
@@ -34,6 +43,8 @@ type BenchFile struct {
 	Generated  string      `json:"generated"`
 	Go         string      `json:"go"`
 	CPU        string      `json:"cpu"`
+	CPUs       int         `json:"cpus"`
+	GoMaxProcs int         `json:"gomaxprocs"`
 	Benchmarks []Benchmark `json:"benchmarks"`
 }
 
@@ -56,19 +67,36 @@ type Finding struct {
 	Cand   float64
 	// DeltaPct is the relative change in percent, signed so that
 	// negative is worse for throughput and positive is worse for
-	// allocations.
+	// allocations. +Inf when allocations appear on a zero baseline.
 	DeltaPct float64
 	// Regression marks findings that breach their gate.
 	Regression bool
+	// Warning marks findings that would breach their gate but are
+	// downgraded because the baseline can't support the comparison —
+	// today that is worker-scaling throughput measured against a
+	// baseline captured on a single-CPU box, where scaling curves are
+	// flat by construction and the delta measures the host, not the
+	// code.
+	Warning bool
 }
 
 func (f Finding) String() string {
 	verdict := "ok"
-	if f.Regression {
+	switch {
+	case f.Regression:
 		verdict = "REGRESSION"
+	case f.Warning:
+		verdict = "WARN (1-cpu baseline)"
 	}
 	return fmt.Sprintf("%-60s %-16s %12.4g -> %-12.4g %+7.2f%%  %s",
 		f.Bench, f.Metric, f.Base, f.Cand, f.DeltaPct, verdict)
+}
+
+// workerScaling reports whether a benchmark name is a worker- or
+// session-scaling variant — the sub-benchmarks whose whole point is
+// how throughput changes with parallelism.
+func workerScaling(name string) bool {
+	return strings.Contains(name, "workers=") || strings.Contains(name, "sessions=")
 }
 
 // Compare applies the gates to every benchmark present in both files
@@ -94,18 +122,35 @@ func Compare(baseline, candidate BenchFile, maxDropPct, maxAllocGrowthPct float6
 				continue
 			}
 			delta := (cv - bv) / bv * 100
-			findings = append(findings, Finding{
+			f := Finding{
 				Bench: base.Name, Metric: key, Base: bv, Cand: cv,
 				DeltaPct: delta, Regression: delta < -maxDropPct,
-			})
+			}
+			// A 1-CPU baseline has nothing to say about scaling
+			// behaviour: every workers=N / sessions=N variant collapses
+			// onto the serial curve, so a later multi-core (or
+			// differently loaded single-core) run comparing against it
+			// measures the host. Surface the delta, don't gate on it.
+			if f.Regression && baseline.CPUs == 1 && workerScaling(base.Name) {
+				f.Regression = false
+				f.Warning = true
+			}
+			findings = append(findings, f)
 		}
-		if bv, bok := base.Metrics["allocs_per_op"]; bok && bv > 0 {
+		if bv, bok := base.Metrics["allocs_per_op"]; bok {
 			if cv, cok := c.Metrics["allocs_per_op"]; cok {
-				delta := (cv - bv) / bv * 100
-				findings = append(findings, Finding{
-					Bench: base.Name, Metric: "allocs_per_op", Base: bv, Cand: cv,
-					DeltaPct: delta, Regression: delta > maxAllocGrowthPct,
-				})
+				f := Finding{Bench: base.Name, Metric: "allocs_per_op", Base: bv, Cand: cv}
+				if bv > 0 {
+					f.DeltaPct = (cv - bv) / bv * 100
+					f.Regression = f.DeltaPct > maxAllocGrowthPct
+				} else if cv > 0 {
+					// A zero-alloc baseline is a property, not a
+					// quantity: any allocation at all breaks it, so the
+					// growth threshold doesn't apply.
+					f.DeltaPct = math.Inf(1)
+					f.Regression = true
+				}
+				findings = append(findings, f)
 			}
 		}
 	}
@@ -158,12 +203,18 @@ func main() {
 	}
 
 	findings, onlyBase, onlyCand := Compare(baseline, candidate, *maxDrop, *maxAllocs)
-	bad := 0
+	bad, warned := 0, 0
 	for _, f := range findings {
 		fmt.Println(f)
 		if f.Regression {
 			bad++
 		}
+		if f.Warning {
+			warned++
+		}
+	}
+	if warned > 0 {
+		log.Printf("warning: %d worker-scaling throughput drop(s) not gated — the baseline was captured on a 1-CPU host and carries no scaling signal", warned)
 	}
 	for _, name := range onlyBase {
 		log.Printf("warning: %s in baseline only (benchmark removed?)", name)

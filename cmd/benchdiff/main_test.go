@@ -86,6 +86,75 @@ func TestCompareCleanRunPasses(t *testing.T) {
 	}
 }
 
+// TestCompareZeroAllocBaselineIsAbsolute asserts that a benchmark
+// whose baseline records zero allocations is gated on any allocation
+// at all — the percentage envelope can't express growth from zero, and
+// the zero-alloc steady state is a property worth pinning exactly.
+func TestCompareZeroAllocBaselineIsAbsolute(t *testing.T) {
+	baseline := file(
+		bench("BenchmarkSteadyStateRollout", map[string]float64{"steps_per_s": 300, "allocs_per_op": 0}),
+		bench("BenchmarkStillClean", map[string]float64{"allocs_per_op": 0}),
+	)
+	candidate := file(
+		bench("BenchmarkSteadyStateRollout", map[string]float64{"steps_per_s": 300, "allocs_per_op": 1}),
+		bench("BenchmarkStillClean", map[string]float64{"allocs_per_op": 0}),
+	)
+	findings, _, _ := Compare(baseline, candidate, 15, 10)
+	bad := regressions(findings)
+	if len(bad) != 1 {
+		t.Fatalf("want exactly the newly-allocating benchmark flagged, got %v", bad)
+	}
+	if _, ok := bad["BenchmarkSteadyStateRollout/allocs_per_op"]; !ok {
+		t.Fatalf("0 -> 1 allocs not flagged: %v", bad)
+	}
+}
+
+// TestCompareOneCPUBaselineDowngradesScaling asserts worker-scaling
+// throughput drops are warnings, not regressions, when the baseline
+// snapshot was captured on a single-CPU host — and stay hard failures
+// when the baseline had real parallelism, or when the benchmark isn't
+// a scaling variant.
+func TestCompareOneCPUBaselineDowngradesScaling(t *testing.T) {
+	bs := []Benchmark{
+		bench("BenchmarkConvGEMMWorkers/workers=4", map[string]float64{"steps_per_s": 400}),
+		bench("BenchmarkRollout/sessions=8", map[string]float64{"steps_per_s": 200}),
+		bench("BenchmarkRollout/mem", map[string]float64{"steps_per_s": 260}),
+	}
+	cs := []Benchmark{
+		bench("BenchmarkConvGEMMWorkers/workers=4", map[string]float64{"steps_per_s": 200}), // halved
+		bench("BenchmarkRollout/sessions=8", map[string]float64{"steps_per_s": 100}),        // halved
+		bench("BenchmarkRollout/mem", map[string]float64{"steps_per_s": 130}),               // halved
+	}
+
+	oneCPU := BenchFile{Go: "go1.24.0", CPUs: 1, Benchmarks: bs}
+	findings, _, _ := Compare(oneCPU, file(cs...), 15, 10)
+	bad := regressions(findings)
+	if len(bad) != 1 {
+		t.Fatalf("1-cpu baseline: want only the non-scaling drop gated, got %v", bad)
+	}
+	if _, ok := bad["BenchmarkRollout/mem/steps_per_s"]; !ok {
+		t.Fatalf("non-scaling drop not gated: %v", bad)
+	}
+	warned := 0
+	for _, f := range findings {
+		if f.Warning {
+			warned++
+			if !workerScaling(f.Bench) {
+				t.Fatalf("non-scaling benchmark downgraded: %v", f)
+			}
+		}
+	}
+	if warned != 2 {
+		t.Fatalf("want both scaling drops downgraded to warnings, got %d", warned)
+	}
+
+	multiCPU := BenchFile{Go: "go1.24.0", CPUs: 8, Benchmarks: bs}
+	findings, _, _ = Compare(multiCPU, file(cs...), 15, 10)
+	if bad := regressions(findings); len(bad) != 3 {
+		t.Fatalf("8-cpu baseline: all three drops must gate, got %v", bad)
+	}
+}
+
 // TestCompareDisjointSetsWarnNotFail asserts added/removed benchmarks
 // surface as warnings (the only* returns), never as regressions.
 func TestCompareDisjointSetsWarnNotFail(t *testing.T) {

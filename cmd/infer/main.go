@@ -53,6 +53,7 @@ func main() {
 		network   = flag.String("network", "ethernet", "virtual network model: ethernet | infiniband | none")
 		workers   = flag.Int("workers", 1, "intra-layer parallelism of the convolution kernels (results are bit-identical for any value)")
 		backend   = flag.String("conv", "gemm", "convolution engine: gemm (im2col fast path) | naive (reference loops)")
+		precision = flag.String("precision", "f64", "compute precision: f64 (reference, bit-reproducible) | f32 (faster, within documented error budget)")
 		exchange  = flag.String("exchange", "blocking", "halo exchange schedule: blocking | overlap (bit-identical frames)")
 		transport = flag.String("transport", "mem", "mpi transport: mem (in-process) | tcp (multi-process; see cmd/mpirun)")
 		tcpRank   = flag.Int("rank", 0, "this process's rank in the tcp world")
@@ -87,6 +88,10 @@ func main() {
 		convBackend = nn.SlowPath
 	default:
 		log.Fatalf("unknown convolution engine %q", *backend)
+	}
+	prec, err := nn.ParsePrecision(*precision)
+	if err != nil {
+		log.Fatal(err)
 	}
 
 	e, err := core.LoadEnsemble(*ckptDir)
@@ -136,6 +141,7 @@ func main() {
 		core.WithWorkers(*workers),
 		core.WithNetModel(nm),
 		core.WithConvBackend(convBackend),
+		core.WithPrecision(prec),
 		core.WithExchangeMode(mode),
 	}
 	var chaos *mpi.ChaosPlan

@@ -77,6 +77,7 @@ func main() {
 		initPath     = flag.String("init", "", "dataset (.gob) whose opening snapshots seed GET rollouts")
 		workers      = flag.Int("workers", 0, "serving parallelism: ranks fan out per micro-batch and convolution kernels tile-parallelize (0 = single-threaded; results are bit-identical for any value)")
 		backend      = flag.String("conv", "gemm", "convolution engine: gemm | naive")
+		precision    = flag.String("precision", "f64", "serving compute precision: f64 (reference, bit-reproducible) | f32 (faster, within documented error budget)")
 		exchange     = flag.String("exchange", "blocking", "halo exchange schedule for rollout sessions: blocking | overlap")
 		maxBatch     = flag.Int("max-batch", 8, "micro-batch size cap for predict coalescing (per model)")
 		maxDelay     = flag.Duration("max-delay", 2*time.Millisecond, "max wait for predict batchmates before dispatching a partial batch")
@@ -98,6 +99,10 @@ func main() {
 	default:
 		log.Fatalf("unknown convolution engine %q", *backend)
 	}
+	prec, err := nn.ParsePrecision(*precision)
+	if err != nil {
+		log.Fatal(err)
+	}
 	mode, err := core.ParseExchangeMode(*exchange)
 	if err != nil {
 		log.Fatal(err)
@@ -114,6 +119,7 @@ func main() {
 
 	engOpts := []core.EngineOption{
 		core.WithConvBackend(convBackend),
+		core.WithPrecision(prec),
 		core.WithExchangeMode(mode),
 	}
 	if *workers > 0 {

@@ -61,6 +61,7 @@ func main() {
 		concurrent = flag.Bool("concurrent", false, "execute ranks concurrently (goroutines) instead of critical-path timing mode")
 		workers    = flag.Int("workers", 1, "intra-layer parallelism of the convolution kernels (results are bit-identical for any value)")
 		backend    = flag.String("conv", "gemm", "convolution engine: gemm (im2col fast path) | naive (reference loops)")
+		precision  = flag.String("precision", "f64", "f64 | f32: training always runs f64; f32 verifies after training that the artifact can be served on the float32 path (core.WithPrecision)")
 		progress   = flag.Bool("progress", false, "print per-rank per-epoch training losses as they happen")
 		transport  = flag.String("transport", "mem", "mpi transport: mem (in-process) | tcp (multi-process; see cmd/mpirun)")
 		tcpRank    = flag.Int("rank", 0, "this process's rank in the tcp world")
@@ -68,6 +69,11 @@ func main() {
 		peersFlag  = flag.String("peers", "", "comma-separated host:port of every rank, in rank order (tcp transport)")
 	)
 	flag.Parse()
+
+	prec, err := nn.ParsePrecision(*precision)
+	if err != nil {
+		log.Fatal(err)
+	}
 
 	// Ctrl-C cancels training within one epoch (core.Trainer contract).
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
@@ -207,6 +213,12 @@ func main() {
 			}
 			fmt.Printf("model artifact written to %s/ (manifest + %d rank payloads)\n", *outDir, len(res.Ranks))
 		}
+		if prec == nn.F32 {
+			for _, rr := range res.Ranks {
+				checkF32Readiness(rr.Rank, rr.Model)
+			}
+			fmt.Println("f32 serving path verified (training ran f64; serve with -precision f32)")
+		}
 
 	case "sequential":
 		fmt.Printf("sequential whole-domain training, %d epochs\n", *epochs)
@@ -236,6 +248,10 @@ func main() {
 			log.Fatal(err)
 		}
 		fmt.Printf("model artifact written to %s/ (manifest + rank0.gob)\n", *outDir)
+		if prec == nn.F32 {
+			checkF32Readiness(0, rr.Model)
+			fmt.Println("f32 serving path verified (training ran f64; serve with -precision f32)")
+		}
 
 	case "dataparallel":
 		fmt.Printf("data-parallel baseline (weight averaging) on %d replicas, %d epochs\n", *ranks, *epochs)
@@ -250,12 +266,30 @@ func main() {
 		res := rep.DataParallel
 		if res.Model != nil { // the process hosting rank 0 (or any in-process run)
 			fmt.Printf("final loss %.4g in %.3fs wall\n", res.FinalLoss(), res.WallSeconds)
+			if prec == nn.F32 {
+				checkF32Readiness(0, res.Model)
+				fmt.Println("f32 serving path verified (training ran f64; serve with -precision f32)")
+			}
 		}
 		fmt.Printf("training communication: %d msgs, %.2f MB (the paper's scheme uses none)\n",
 			res.CommStats.MessagesSent, float64(res.CommStats.BytesSent)/1e6)
 
 	default:
 		log.Fatalf("unknown mode %q", *mode)
+	}
+}
+
+// checkF32Readiness probes one trained model's float32 serving path
+// (the -precision f32 post-train assertion: training itself always
+// runs float64 — the optimizer mutates weights every step, which would
+// thrash the packed-weight cache). A nil model (a remote process's
+// rank on a tcp world) is skipped.
+func checkF32Readiness(rank int, m *nn.Sequential) {
+	if m == nil {
+		return
+	}
+	if err := m.CloneShared().SetPrecision(nn.F32); err != nil {
+		log.Fatalf("-precision f32: rank %d model cannot serve float32: %v", rank, err)
 	}
 }
 

@@ -83,6 +83,17 @@
 // histogram format, and perf regressions are gated by cmd/benchdiff
 // against BENCH_baseline.json (make bench-compare).
 //
+// Inference has two compute widths (DESIGN.md §13). Float64 is the
+// default and carries every bit-identity guarantee; core.WithPrecision
+// (nn.F32) opts an Engine into the float32 path — float64 master
+// weights narrowed and panel-packed once per Engine, AVX-512/AVX2 f32
+// GEMM and direct-convolution kernels in between, one widening at the
+// output — for ~1.76x rollout throughput within a documented error
+// budget (EXPERIMENTS.md). The fused steady state allocates nothing
+// per step, and the f32 path keeps its own determinism: bit-identical
+// across worker counts, batch sizes, transports and reruns (cmd/serve,
+// cmd/infer and cmd/train take -precision f64|f32).
+//
 // The message-passing runtime is transport-agnostic (DESIGN.md §8):
 // the same World/Comm semantics (non-overtaking tagged p2p,
 // collectives, Cartesian topology, CommStats + virtual network-cost

@@ -32,6 +32,7 @@ type Engine struct {
 	netModel   *mpi.NetModel
 	chaos      *mpi.ChaosPlan
 	backend    *nn.ConvBackend
+	precision  nn.Precision
 	mode       ExchangeMode
 	world      *mpi.World
 	worldBusy  atomic.Bool  // a bound world serves one live session at a time
@@ -85,6 +86,21 @@ func WithConvBackend(b nn.ConvBackend) EngineOption {
 	return func(e *Engine) { e.backend = &b }
 }
 
+// WithPrecision selects the numeric width of this engine's compute
+// path (default nn.F64, the reference path carrying every bit-identity
+// guarantee). nn.F32 serves every session and Predict call through the
+// float32 kernels with prepacked float32 weights (DESIGN.md §13):
+// weights are narrowed once at engine construction, activations once
+// per request at the input, and results widen once at the output
+// boundary. Frames agree with the f64 path to the documented error
+// budget (EXPERIMENTS.md), never bit-for-bit; within the f32 path,
+// results remain bit-identical for any worker count and across
+// exchange modes. NewEngine fails if any layer of the ensemble's
+// models has no float32 path (e.g. LSTM).
+func WithPrecision(p nn.Precision) EngineOption {
+	return func(e *Engine) { e.precision = p }
+}
+
 // WithExchangeMode selects the halo-exchange schedule for this
 // engine's sessions (default Blocking). Overlap hides wire time behind
 // interior compute; frames are bit-identical across modes (see
@@ -128,6 +144,21 @@ func NewEngine(e *Ensemble, opts ...EngineOption) (*Engine, error) {
 		return nil, fmt.Errorf("core: engine world has %d ranks, partition needs %d",
 			eng.world.Size(), e.Partition.Ranks())
 	}
+	if eng.precision != nn.F64 && eng.precision != nn.F32 {
+		return nil, fmt.Errorf("core: invalid precision %d", int(eng.precision))
+	}
+	if eng.precision == nn.F32 {
+		// Probe every rank model once: this surfaces unsupported layers
+		// as a construction error instead of a serving panic, and — since
+		// clones share their master's weight packs — performs the one
+		// f64→f32 weight narrowing per Engine right here, off every
+		// request path.
+		for r, m := range e.Models {
+			if err := m.CloneShared().SetPrecision(nn.F32); err != nil {
+				return nil, fmt.Errorf("core: precision f32 unsupported by rank %d model: %w", r, err)
+			}
+		}
+	}
 	if eng.world != nil && eng.world.Distributed() {
 		// This process computes only its local rank(s): don't pay for
 		// the other N-1 ranks' model clones and pipeline state.
@@ -163,6 +194,12 @@ func (eng *Engine) newRankModels() *rankModels {
 		}
 		if eng.backend != nil {
 			c.SetConvBackend(*eng.backend)
+		}
+		if eng.precision == nn.F32 {
+			if err := c.SetPrecision(nn.F32); err != nil {
+				// Unreachable: NewEngine probed every model.
+				panic(fmt.Sprintf("core: precision f32: %v", err))
+			}
 		}
 		rm.models[r] = c
 	}

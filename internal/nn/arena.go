@@ -14,10 +14,18 @@ package nn
 // never outlives the layer call that requested it). An Arena is NOT
 // safe for concurrent use; concurrent ranks each own their models and
 // therefore their arenas.
+// Float32 scratch (the F32 compute path, DESIGN.md §13) lives in its
+// own chunk list inside the same arena, so one Mark/Release bracket
+// governs both element types and the f32 layers share the network's
+// arena without mixing widths within a chunk.
 type Arena struct {
 	chunks [][]float64
 	cur    int // index of the chunk being bumped
 	off    int // bump offset within chunks[cur]
+
+	chunks32 [][]float32
+	cur32    int
+	off32    int
 }
 
 // NewArena returns an empty arena; chunks are grown on demand.
@@ -25,7 +33,7 @@ func NewArena() *Arena { return &Arena{} }
 
 // Reset rewinds the arena to empty, keeping its chunks for reuse. It
 // is equivalent to releasing a mark taken before the first Alloc.
-func (a *Arena) Reset() { a.cur, a.off = 0, 0 }
+func (a *Arena) Reset() { a.cur, a.off, a.cur32, a.off32 = 0, 0, 0, 0 }
 
 // arenaMinChunk is the smallest chunk the arena allocates (64 KiB of
 // float64s), so tiny requests don't fragment into many chunks.
@@ -68,16 +76,55 @@ func (a *Arena) AllocZero(n int) []float64 {
 	return s
 }
 
-// ArenaMark is a position in the arena's bump stack.
-type ArenaMark struct{ cur, off int }
+// Alloc32 returns a scratch slice of n float32s with arbitrary
+// contents, under the same Mark/Release discipline as Alloc.
+func (a *Arena) Alloc32(n int) []float32 {
+	if n == 0 {
+		return nil
+	}
+	for a.cur32 < len(a.chunks32) {
+		c := a.chunks32[a.cur32]
+		if a.off32+n <= len(c) {
+			s := c[a.off32 : a.off32+n]
+			a.off32 += n
+			return s
+		}
+		a.cur32++
+		a.off32 = 0
+	}
+	size := n
+	if size < arenaMinChunk {
+		size = arenaMinChunk
+	}
+	c := make([]float32, size)
+	a.chunks32 = append(a.chunks32, c)
+	a.cur32 = len(a.chunks32) - 1
+	a.off32 = n
+	return c[:n]
+}
+
+// AllocZero32 is Alloc32 with the returned slice cleared.
+func (a *Arena) AllocZero32(n int) []float32 {
+	s := a.Alloc32(n)
+	for i := range s {
+		s[i] = 0
+	}
+	return s
+}
+
+// ArenaMark is a position in the arena's bump stack (both widths).
+type ArenaMark struct{ cur, off, cur32, off32 int }
 
 // Mark records the current allocation position. Pair it with Release
 // to return every slice handed out in between to the arena.
-func (a *Arena) Mark() ArenaMark { return ArenaMark{a.cur, a.off} }
+func (a *Arena) Mark() ArenaMark { return ArenaMark{a.cur, a.off, a.cur32, a.off32} }
 
 // Release rewinds the arena to a previous Mark, invalidating all
 // slices allocated after it.
-func (a *Arena) Release(m ArenaMark) { a.cur, a.off = m.cur, m.off }
+func (a *Arena) Release(m ArenaMark) {
+	a.cur, a.off = m.cur, m.off
+	a.cur32, a.off32 = m.cur32, m.off32
+}
 
 // scratchUser is implemented by layers that consume arena scratch.
 type scratchUser interface{ SetScratch(*Arena) }

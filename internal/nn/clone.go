@@ -32,6 +32,15 @@ func (s *Sequential) CloneShared() *Sequential {
 		out.layers[i] = c.CloneShared()
 	}
 	out.SetScratch(NewArena())
+	// The precision pin is a per-instance property like the backend pin,
+	// and the clone's layers share the master's packed f32 weights (the
+	// pack pointers were copied above), so propagating the pin costs no
+	// re-narrowing — pack-once-per-Engine.
+	if s.f32 != nil {
+		if err := out.SetPrecision(F32); err != nil {
+			panic(fmt.Sprintf("nn: CloneShared precision pin: %v", err))
+		}
+	}
 	return out
 }
 
@@ -48,6 +57,7 @@ func (c *Conv2D) CloneShared() Layer {
 		bias:        c.bias,
 		backend:     c.backend,
 		scratch:     NewArena(),
+		pack:        c.pack,
 		name:        c.name,
 	}
 }
@@ -63,13 +73,14 @@ func (c *ConvTranspose2D) CloneShared() Layer {
 		bias:        c.bias,
 		backend:     c.backend,
 		scratch:     NewArena(),
+		pack:        c.pack,
 		name:        c.name,
 	}
 }
 
 // CloneShared implements SharedCloner.
 func (d *Dense) CloneShared() Layer {
-	return &Dense{In: d.In, Out: d.Out, weight: d.weight, bias: d.bias, name: d.name}
+	return &Dense{In: d.In, Out: d.Out, weight: d.weight, bias: d.bias, pack: d.pack, name: d.name}
 }
 
 // CloneShared implements SharedCloner.

@@ -81,6 +81,18 @@ type Conv2D struct {
 	scratch    *Arena       // im2col workspace (never nil after NewConv2D)
 	backend    *ConvBackend // per-layer pin; nil follows the package switch
 	name       string
+
+	// Float32 compute path (DESIGN.md §13): pack caches the weights
+	// narrowed to f32 (shared across clones, see pack32), f32on pins
+	// the layer, and cacheX32 keeps a persistent copy of the last f32
+	// input — chain activations live in the arena, so Backward cannot
+	// cache them by reference the way the f64 path does.
+	f32on     bool
+	f32arena  *Arena
+	pack      *pack32
+	cacheX32  []float32
+	cacheF32  bool
+	cacheDims [3]int // n, h, w of the cached f32 input
 }
 
 // NewConv2D builds a convolution layer with He-initialized weights.
@@ -99,6 +111,7 @@ func NewConv2D(name string, g *tensor.RNG, inCh, outCh, kernel, pad int) *Conv2D
 		weight:      NewParam(name+".weight", w),
 		bias:        NewParam(name+".bias", b),
 		scratch:     NewArena(),
+		pack:        &pack32{},
 		name:        name,
 	}
 }
@@ -159,6 +172,9 @@ func (c *Conv2D) Forward(x *tensor.Tensor) *tensor.Tensor {
 	if x.Dim(1) != c.InChannels {
 		panic(fmt.Sprintf("nn: Conv2D %s expects %d input channels, got %d", c.name, c.InChannels, x.Dim(1)))
 	}
+	if c.f32on {
+		return forwardVia32(c, c.f32arena, x)
+	}
 	if c.engine() == FastPath {
 		return c.forwardGEMM(x)
 	}
@@ -175,6 +191,9 @@ func (c *Conv2D) Forward(x *tensor.Tensor) *tensor.Tensor {
 
 // Backward implements Layer.
 func (c *Conv2D) Backward(gradOut *tensor.Tensor) *tensor.Tensor {
+	if c.cacheF32 {
+		return c.backward32(gradOut)
+	}
 	if c.cacheInput == nil {
 		panic(fmt.Sprintf("nn: Conv2D %s Backward before Forward", c.name))
 	}

@@ -39,6 +39,14 @@ type ConvTranspose2D struct {
 	scratch    *Arena
 	backend    *ConvBackend // per-layer pin; nil follows the package switch
 	name       string
+
+	// Float32 compute path — see the matching fields on Conv2D.
+	f32on     bool
+	f32arena  *Arena
+	pack      *pack32
+	cacheX32  []float32
+	cacheF32  bool
+	cacheDims [3]int // n, h, w of the cached f32 input
 }
 
 // NewConvTranspose2D builds a transpose convolution layer with
@@ -57,6 +65,7 @@ func NewConvTranspose2D(name string, g *tensor.RNG, inCh, outCh, kernel int) *Co
 		weight:      NewParam(name+".weight", w),
 		bias:        NewParam(name+".bias", b),
 		scratch:     NewArena(),
+		pack:        &pack32{},
 		name:        name,
 	}
 }
@@ -105,6 +114,9 @@ func (c *ConvTranspose2D) Forward(x *tensor.Tensor) *tensor.Tensor {
 	if x.Dim(1) != c.InChannels {
 		panic(fmt.Sprintf("nn: ConvTranspose2D %s expects %d input channels, got %d", c.name, c.InChannels, x.Dim(1)))
 	}
+	if c.f32on {
+		return forwardVia32(c, c.f32arena, x)
+	}
 	if c.engine() == FastPath {
 		return c.forwardGEMM(x)
 	}
@@ -152,6 +164,9 @@ func (c *ConvTranspose2D) Forward(x *tensor.Tensor) *tensor.Tensor {
 // cross-correlation, dx is exactly a valid cross-correlation of the
 // output gradient with the kernel.
 func (c *ConvTranspose2D) Backward(gradOut *tensor.Tensor) *tensor.Tensor {
+	if c.cacheF32 {
+		return c.backward32(gradOut)
+	}
 	if c.cacheInput == nil {
 		panic(fmt.Sprintf("nn: ConvTranspose2D %s Backward before Forward", c.name))
 	}

@@ -21,6 +21,14 @@ type Dense struct {
 
 	cacheInput *tensor.Tensor
 	name       string
+
+	// Float32 compute path — see the matching fields on Conv2D.
+	f32on    bool
+	f32arena *Arena
+	pack     *pack32
+	cacheX32 []float32
+	cacheF32 bool
+	cacheN   int // batch rows of the cached f32 input
 }
 
 // NewDense builds a dense layer with Xavier-initialized weights.
@@ -33,6 +41,7 @@ func NewDense(name string, g *tensor.RNG, in, out int) *Dense {
 		Out:    out,
 		weight: NewParam(name+".weight", XavierUniform(g, in, out, in, out)),
 		bias:   NewParam(name+".bias", tensor.New(out)),
+		pack:   &pack32{},
 		name:   name,
 	}
 }
@@ -47,6 +56,9 @@ func (d *Dense) Params() []*Param { return []*Param{d.weight, d.bias} }
 func (d *Dense) Forward(x *tensor.Tensor) *tensor.Tensor {
 	if x.Rank() != 2 || x.Dim(1) != d.In {
 		panic(fmt.Sprintf("nn: Dense %s needs [N,%d] input, got %v", d.name, d.In, x.Shape()))
+	}
+	if d.f32on {
+		return forwardVia32(d, d.f32arena, x)
 	}
 	d.cacheInput = x.Clone()
 	y := tensor.MatMul(x, d.weight.Value)
@@ -63,6 +75,9 @@ func (d *Dense) Forward(x *tensor.Tensor) *tensor.Tensor {
 
 // Backward implements Layer: dx = dy·Wᵀ, dW += xᵀ·dy, db += Σ_n dy.
 func (d *Dense) Backward(gradOut *tensor.Tensor) *tensor.Tensor {
+	if d.cacheF32 {
+		return d.backward32(gradOut)
+	}
 	if d.cacheInput == nil {
 		panic(fmt.Sprintf("nn: Dense %s Backward before Forward", d.name))
 	}

@@ -48,6 +48,11 @@ import (
 type HaloSplit struct {
 	conv *Conv2D
 	tail []Layer
+	// tail32/arena32 are set when the network is pinned to the float32
+	// path at split time: Finish then runs the tail fused on float32
+	// (one narrowing in, one widening out) instead of layer by layer.
+	tail32  []layer32
+	arena32 *Arena
 	// H, W are the subdomain's interior dimensions; Halo the strip
 	// width, so the extended frame is (H+2·Halo) × (W+2·Halo).
 	H, W, Halo int
@@ -79,7 +84,12 @@ func NewHaloSplit(net *Sequential, h, w, halo int) *HaloSplit {
 	if !ok || conv.Pad != 0 || conv.Kernel != 2*halo+1 {
 		return nil
 	}
-	return &HaloSplit{conv: conv, tail: layers[1:], H: h, W: w, Halo: halo}
+	s := &HaloSplit{conv: conv, tail: layers[1:], H: h, W: w, Halo: halo}
+	if net.f32 != nil && len(net.f32.steps) > 1 {
+		s.tail32 = net.f32.steps[1:]
+		s.arena32 = net.f32.arena
+	}
+	return s
 }
 
 // Interior computes the first layer's interior tile — output rows
@@ -127,6 +137,23 @@ func (s *HaloSplit) Assemble(interior, west, east, south, north *tensor.Tensor) 
 // Finish runs the halo-free tail of the network over the assembled
 // first-layer activation and returns the subdomain's output frame.
 func (s *HaloSplit) Finish(a *tensor.Tensor) *tensor.Tensor {
+	if s.tail32 != nil {
+		// Fused f32 tail. The assembled activation is the output of the
+		// f32 first layer (float32 values widened), so narrowing it back
+		// is exact and the result is bit-identical to running the pinned
+		// tail layers one by one.
+		mark := s.arena32.Mark()
+		in := s.arena32.Alloc32(a.Size())
+		tensor.Narrow32(in, a.Data())
+		cur := actOf(a, in)
+		for _, l := range s.tail32 {
+			cur = l.forward32(cur, s.arena32)
+		}
+		y := newFromAct(cur)
+		tensor.Widen64(y.Data(), cur.d)
+		s.arena32.Release(mark)
+		return y
+	}
 	y := a
 	for _, l := range s.tail {
 		y = l.Forward(y)

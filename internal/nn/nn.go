@@ -51,6 +51,9 @@ type Layer interface {
 // Sequential chains layers; the output of layer i feeds layer i+1.
 type Sequential struct {
 	layers []Layer
+	// f32 is non-nil when the network is pinned to the float32 compute
+	// path (SetPrecision); Forward then runs the fused f32 chain.
+	f32 *seqF32
 }
 
 // NewSequential builds a container over the given layers.
@@ -67,8 +70,20 @@ func (s *Sequential) Layers() []Layer { return s.layers }
 // Add appends a layer.
 func (s *Sequential) Add(l Layer) { s.layers = append(s.layers, l) }
 
-// Forward implements Layer by chaining the contained layers.
+// Forward implements Layer by chaining the contained layers. When the
+// network is pinned to F32 (SetPrecision), the whole chain runs fused
+// on float32 — one narrowing at the input, one widening at the output
+// — which is bit-identical to running the pinned layers one by one
+// (widening is exact, so the per-layer f64 boundaries round-trip).
 func (s *Sequential) Forward(x *tensor.Tensor) *tensor.Tensor {
+	if s.f32 != nil {
+		mark := s.f32.arena.Mark()
+		out := s.forwardChain32(x)
+		y := newFromAct(out)
+		tensor.Widen64(y.Data(), out.d)
+		s.f32.arena.Release(mark)
+		return y
+	}
 	for _, l := range s.layers {
 		x = l.Forward(x)
 	}
@@ -157,6 +172,7 @@ func LoadStateDict(m Layer, d map[string]*tensor.Tensor) error {
 		}
 		p.Value.CopyFrom(src)
 	}
+	invalidatePacks(m)
 	return nil
 }
 
@@ -173,6 +189,7 @@ func CopyParams(dst, src Layer) error {
 		}
 		dp[i].Value.CopyFrom(sp[i].Value)
 	}
+	invalidatePacks(dst)
 	return nil
 }
 
@@ -202,6 +219,7 @@ func UnflattenParams(m Layer, flat []float64) error {
 	if off != len(flat) {
 		return fmt.Errorf("nn: UnflattenParams vector length %d, model has %d parameters", len(flat), off)
 	}
+	invalidatePacks(m)
 	return nil
 }
 

@@ -1,0 +1,190 @@
+package tensor
+
+// Float32 mirrors of the three strided GEMM panel kernels in gemm.go
+// (DESIGN.md §13). The loop structure, task partitioning, and
+// determinism contract are identical to the float64 kernels — per
+// element the accumulation order depends only on the operand
+// dimensions, never on the worker count — but every lane is float32,
+// which halves memory traffic and doubles SIMD width on amd64
+// (gemm32_amd64.s).
+//
+// One deliberate difference: each kernel short-circuits workers <= 1
+// into a closure-free serial sweep. The f32 path exists to give the
+// steady-state rollout loop zero allocations per step, and a closure
+// passed to ParallelFor escapes to the heap even when the serial
+// branch inside ParallelFor runs it, so the hot single-worker case
+// never builds one.
+
+// axpy4Go32 is the portable float32 reduction micro-kernel:
+// c[j] += a0·b0[j] + a1·b1[j] + a2·b2[j] + a3·b3[j].
+func axpy4Go32(c, b0, b1, b2, b3 []float32, a0, a1, a2, a3 float32) {
+	for j := range c {
+		c[j] += a0*b0[j] + a1*b1[j] + a2*b2[j] + a3*b3[j]
+	}
+}
+
+// axpy1Go32 is the float32 remainder kernel: c[j] += a·b[j].
+func axpy1Go32(c, b []float32, a float32) {
+	for j := range c {
+		c[j] += a * b[j]
+	}
+}
+
+// gemmPanelRow32 accumulates one row of C over the reduction
+// dimension, the float32 twin of gemmPanelRow: ci[j] (+)=
+// Σ_p a[p·astride]·b[p·ldb+j].
+func gemmPanelRow32(ci []float32, a []float32, astride int, b []float32, ldb, k int, acc bool) {
+	if !acc {
+		for j := range ci {
+			ci[j] = 0
+		}
+	}
+	p := 0
+	for ; p+4 <= k; p += 4 {
+		a0 := a[p*astride]
+		a1 := a[(p+1)*astride]
+		a2 := a[(p+2)*astride]
+		a3 := a[(p+3)*astride]
+		if a0 == 0 && a1 == 0 && a2 == 0 && a3 == 0 {
+			continue
+		}
+		w := len(ci)
+		axpy4f32(ci,
+			b[p*ldb:p*ldb+w],
+			b[(p+1)*ldb:(p+1)*ldb+w],
+			b[(p+2)*ldb:(p+2)*ldb+w],
+			b[(p+3)*ldb:(p+3)*ldb+w],
+			a0, a1, a2, a3)
+	}
+	for ; p < k; p++ {
+		av := a[p*astride]
+		if av == 0 {
+			continue
+		}
+		axpy1Go32(ci, b[p*ldb:p*ldb+len(ci)], av)
+	}
+}
+
+// GemmPanelNN32 computes C = A·B (or C += A·B when acc is true) over
+// float32 row-major panels, the twin of GemmPanelNN. Bit-identical for
+// any worker count.
+func GemmPanelNN32(m, n, k int, a []float32, lda int, b []float32, ldb int, c []float32, ldc int, acc bool, workers int) {
+	checkPanel("GemmPanelNN32", m, n, k, len(a), lda, m, k, len(b), ldb, k, n, len(c), ldc)
+	nb := colBlocks(n)
+	if workers <= 1 {
+		for i := 0; i < m; i++ {
+			for jb := 0; jb < nb; jb++ {
+				j0 := jb * gemmColBlock
+				j1 := min(j0+gemmColBlock, n)
+				gemmPanelRow32(c[i*ldc+j0:i*ldc+j1], a[i*lda:], 1, b[j0:], ldb, k, acc)
+			}
+		}
+		return
+	}
+	ParallelFor(m*nb, workers, func(task int) {
+		i, jb := task/nb, task%nb
+		j0 := jb * gemmColBlock
+		j1 := min(j0+gemmColBlock, n)
+		gemmPanelRow32(c[i*ldc+j0:i*ldc+j1], a[i*lda:], 1, b[j0:], ldb, k, acc)
+	})
+}
+
+// GemmPanelTN32 computes C = Aᵀ·B (or C += Aᵀ·B when acc is true) over
+// float32 row-major panels, the twin of GemmPanelTN. Bit-identical for
+// any worker count.
+func GemmPanelTN32(m, n, k int, a []float32, lda int, b []float32, ldb int, c []float32, ldc int, acc bool, workers int) {
+	checkPanel("GemmPanelTN32", m, n, k, len(a), lda, k, m, len(b), ldb, k, n, len(c), ldc)
+	nb := colBlocks(n)
+	if workers <= 1 {
+		for i := 0; i < m; i++ {
+			for jb := 0; jb < nb; jb++ {
+				j0 := jb * gemmColBlock
+				j1 := min(j0+gemmColBlock, n)
+				gemmPanelRow32(c[i*ldc+j0:i*ldc+j1], a[i:], lda, b[j0:], ldb, k, acc)
+			}
+		}
+		return
+	}
+	ParallelFor(m*nb, workers, func(task int) {
+		i, jb := task/nb, task%nb
+		j0 := jb * gemmColBlock
+		j1 := min(j0+gemmColBlock, n)
+		gemmPanelRow32(c[i*ldc+j0:i*ldc+j1], a[i:], lda, b[j0:], ldb, k, acc)
+	})
+}
+
+// gemmPanelNT32Pair handles one row pair of the NT kernel.
+func gemmPanelNT32Pair(ip, m, n, k int, a []float32, lda int, b []float32, ldb int, c []float32, ldc int, acc bool) {
+	i := 2 * ip
+	a0 := a[i*lda : i*lda+k]
+	c0 := c[i*ldc : i*ldc+n]
+	if i+1 < m {
+		a1 := a[(i+1)*lda : (i+1)*lda+k]
+		c1 := c[(i+1)*ldc : (i+1)*ldc+n]
+		for j := 0; j < n; j++ {
+			bj := b[j*ldb : j*ldb+k]
+			d0, d1 := gemmDot232(a0, a1, bj)
+			if acc {
+				c0[j] += d0
+				c1[j] += d1
+			} else {
+				c0[j] = d0
+				c1[j] = d1
+			}
+		}
+		return
+	}
+	for j := 0; j < n; j++ {
+		bj := b[j*ldb : j*ldb+k]
+		d, _ := gemmDot232(a0, a0, bj)
+		if acc {
+			c0[j] += d
+		} else {
+			c0[j] = d
+		}
+	}
+}
+
+// GemmPanelNT32 computes C = A·Bᵀ (or C += A·Bᵀ when acc is true) over
+// float32 row-major panels, the twin of GemmPanelNT. Bit-identical for
+// any worker count.
+func GemmPanelNT32(m, n, k int, a []float32, lda int, b []float32, ldb int, c []float32, ldc int, acc bool, workers int) {
+	checkPanel("GemmPanelNT32", m, n, k, len(a), lda, m, k, len(b), ldb, n, k, len(c), ldc)
+	pairs := (m + 1) / 2
+	if workers <= 1 {
+		for ip := 0; ip < pairs; ip++ {
+			gemmPanelNT32Pair(ip, m, n, k, a, lda, b, ldb, c, ldc, acc)
+		}
+		return
+	}
+	ParallelFor(pairs, workers, func(ip int) {
+		gemmPanelNT32Pair(ip, m, n, k, a, lda, b, ldb, c, ldc, acc)
+	})
+}
+
+// gemmDot2Go32 is the portable float32 dot micro-kernel, the twin of
+// gemmDot2Go: it returns (a0·b, a1·b) with partial accumulators
+// combined in a fixed order.
+func gemmDot2Go32(a0, a1, b []float32) (float32, float32) {
+	var s00, s01, s02, s03 float32
+	var s10, s11, s12, s13 float32
+	p := 0
+	for ; p+4 <= len(b); p += 4 {
+		b0, b1, b2, b3 := b[p], b[p+1], b[p+2], b[p+3]
+		s00 += a0[p] * b0
+		s01 += a0[p+1] * b1
+		s02 += a0[p+2] * b2
+		s03 += a0[p+3] * b3
+		s10 += a1[p] * b0
+		s11 += a1[p+1] * b1
+		s12 += a1[p+2] * b2
+		s13 += a1[p+3] * b3
+	}
+	d0 := (s00 + s01) + (s02 + s03)
+	d1 := (s10 + s11) + (s12 + s13)
+	for ; p < len(b); p++ {
+		d0 += a0[p] * b[p]
+		d1 += a1[p] * b[p]
+	}
+	return d0, d1
+}

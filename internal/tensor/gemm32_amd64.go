@@ -1,0 +1,66 @@
+//go:build amd64
+
+package tensor
+
+// amd64 dispatch for the float32 reduction micro-kernels, mirroring
+// gemm_amd64.go at twice the lane width: the AVX2 loop covers sixteen
+// float32 lanes per iteration and the AVX-512 loop thirty-two. The
+// same useAVX2FMA/useAVX512 gates apply — f32 and f64 kernels are
+// always enabled together — and the split between SIMD body and Go
+// tail depends only on the span length, never on the worker count, so
+// the determinism contract carries over unchanged.
+
+//go:noescape
+func axpy4AVX2F32(c, b0, b1, b2, b3 *float32, n int, coef *[4]float32)
+
+//go:noescape
+func axpy4AVX512F32(c, b0, b1, b2, b3 *float32, n int, coef *[4]float32)
+
+//go:noescape
+func dot2AVX2F32(a0, a1, b *float32, n int) (d0, d1 float32)
+
+// axpy4f32 adds a0·b0 + a1·b1 + a2·b2 + a3·b3 elementwise into c. The
+// b slices must be at least len(c) long. The AVX-512 body hands its
+// sub-32-lane remainder to the AVX2 loop before falling back to the
+// scalar tail, so at most 15 elements run scalar — at float32 lane
+// widths an uncascaded tail is up to half a typical convolution row.
+// The SIMD/scalar split still depends only on len(c), preserving the
+// determinism contract.
+func axpy4f32(c, b0, b1, b2, b3 []float32, a0, a1, a2, a3 float32) {
+	i := 0
+	if useAVX512 && len(c) >= 32 {
+		n := len(c) &^ 31
+		coef := [4]float32{a0, a1, a2, a3}
+		axpy4AVX512F32(&c[0], &b0[0], &b1[0], &b2[0], &b3[0], n, &coef)
+		i = n
+	}
+	if useAVX2FMA && len(c)-i >= 16 {
+		n := (len(c) - i) &^ 15
+		coef := [4]float32{a0, a1, a2, a3}
+		axpy4AVX2F32(&c[i], &b0[i], &b1[i], &b2[i], &b3[i], n, &coef)
+		i += n
+	}
+	if i == len(c) {
+		return
+	}
+	axpy4Go32(c[i:], b0[i:], b1[i:], b2[i:], b3[i:], a0, a1, a2, a3)
+}
+
+// gemmDot232 returns (a0·b, a1·b) with the same fixed-order reduction
+// structure as gemmDot2: SIMD lanes are horizontally summed first, the
+// scalar tail is added on top.
+func gemmDot232(a0, a1, b []float32) (float32, float32) {
+	var d0, d1 float32
+	i := 0
+	if useAVX2FMA && len(b) >= 16 {
+		n := len(b) &^ 15
+		d0, d1 = dot2AVX2F32(&a0[0], &a1[0], &b[0], n)
+		i = n
+	}
+	if i < len(b) {
+		t0, t1 := gemmDot2Go32(a0[i:], a1[i:], b[i:])
+		d0 += t0
+		d1 += t1
+	}
+	return d0, d1
+}

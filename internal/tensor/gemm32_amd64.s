@@ -1,0 +1,144 @@
+//go:build amd64
+
+#include "textflag.h"
+
+// Float32 twins of the kernels in gemm_amd64.s: same register plan,
+// same per-element FMA chaining, packed-single instructions at twice
+// the lane count, 4-byte element addressing.
+
+// func axpy4AVX2F32(c, b0, b1, b2, b3 *float32, n int, coef *[4]float32)
+//
+// c[j] += coef[0]*b0[j] + coef[1]*b1[j] + coef[2]*b2[j] + coef[3]*b3[j]
+// for j in [0, n). n must be a non-negative multiple of 16 (the Go
+// wrapper floors it and handles the tail). Per element the four FMAs
+// chain in coefficient order, matching lane-for-lane across any
+// partitioning of the surrounding loops.
+TEXT ·axpy4AVX2F32(SB), NOSPLIT, $0-56
+	MOVQ c+0(FP), DI
+	MOVQ b0+8(FP), SI
+	MOVQ b1+16(FP), R8
+	MOVQ b2+24(FP), R9
+	MOVQ b3+32(FP), R10
+	MOVQ n+40(FP), CX
+	MOVQ coef+48(FP), AX
+
+	VBROADCASTSS 0(AX), Y0
+	VBROADCASTSS 4(AX), Y1
+	VBROADCASTSS 8(AX), Y2
+	VBROADCASTSS 12(AX), Y3
+
+	XORQ BX, BX
+
+loop16:
+	CMPQ BX, CX
+	JGE  done
+	VMOVUPS (DI)(BX*4), Y4
+	VMOVUPS 32(DI)(BX*4), Y5
+	VFMADD231PS (SI)(BX*4), Y0, Y4
+	VFMADD231PS 32(SI)(BX*4), Y0, Y5
+	VFMADD231PS (R8)(BX*4), Y1, Y4
+	VFMADD231PS 32(R8)(BX*4), Y1, Y5
+	VFMADD231PS (R9)(BX*4), Y2, Y4
+	VFMADD231PS 32(R9)(BX*4), Y2, Y5
+	VFMADD231PS (R10)(BX*4), Y3, Y4
+	VFMADD231PS 32(R10)(BX*4), Y3, Y5
+	VMOVUPS Y4, (DI)(BX*4)
+	VMOVUPS Y5, 32(DI)(BX*4)
+	ADDQ $16, BX
+	JMP  loop16
+
+done:
+	VZEROUPPER
+	RET
+
+// func axpy4AVX512F32(c, b0, b1, b2, b3 *float32, n int, coef *[4]float32)
+//
+// Identical contract to axpy4AVX2F32 but 32 float32 lanes per
+// iteration (two ZMM registers); n must be a non-negative multiple of
+// 32. The per-element FMA chain is the same, so the two SIMD widths
+// round identically lane for lane.
+TEXT ·axpy4AVX512F32(SB), NOSPLIT, $0-56
+	MOVQ c+0(FP), DI
+	MOVQ b0+8(FP), SI
+	MOVQ b1+16(FP), R8
+	MOVQ b2+24(FP), R9
+	MOVQ b3+32(FP), R10
+	MOVQ n+40(FP), CX
+	MOVQ coef+48(FP), AX
+
+	VBROADCASTSS 0(AX), Z0
+	VBROADCASTSS 4(AX), Z1
+	VBROADCASTSS 8(AX), Z2
+	VBROADCASTSS 12(AX), Z3
+
+	XORQ BX, BX
+
+loop32:
+	CMPQ BX, CX
+	JGE  done512
+	VMOVUPS (DI)(BX*4), Z4
+	VMOVUPS 64(DI)(BX*4), Z5
+	VFMADD231PS (SI)(BX*4), Z0, Z4
+	VFMADD231PS 64(SI)(BX*4), Z0, Z5
+	VFMADD231PS (R8)(BX*4), Z1, Z4
+	VFMADD231PS 64(R8)(BX*4), Z1, Z5
+	VFMADD231PS (R9)(BX*4), Z2, Z4
+	VFMADD231PS 64(R9)(BX*4), Z2, Z5
+	VFMADD231PS (R10)(BX*4), Z3, Z4
+	VFMADD231PS 64(R10)(BX*4), Z3, Z5
+	VMOVUPS Z4, (DI)(BX*4)
+	VMOVUPS Z5, 64(DI)(BX*4)
+	ADDQ $32, BX
+	JMP  loop32
+
+done512:
+	VZEROUPPER
+	RET
+
+// func dot2AVX2F32(a0, a1, b *float32, n int) (d0, d1 float32)
+//
+// Returns (a0·b, a1·b) over the first n elements; n must be a
+// non-negative multiple of 16 (the Go wrapper floors it and adds the
+// scalar tail). Each dot keeps two vector accumulators that are
+// combined and horizontally summed in a fixed order, so the rounding
+// depends only on n.
+TEXT ·dot2AVX2F32(SB), NOSPLIT, $0-40
+	MOVQ a0+0(FP), SI
+	MOVQ a1+8(FP), R8
+	MOVQ b+16(FP), DI
+	MOVQ n+24(FP), CX
+
+	VXORPS Y0, Y0, Y0
+	VXORPS Y1, Y1, Y1
+	VXORPS Y2, Y2, Y2
+	VXORPS Y3, Y3, Y3
+
+	XORQ BX, BX
+
+dloop16:
+	CMPQ BX, CX
+	JGE  dsum
+	VMOVUPS (DI)(BX*4), Y4
+	VMOVUPS 32(DI)(BX*4), Y5
+	VFMADD231PS (SI)(BX*4), Y4, Y0
+	VFMADD231PS 32(SI)(BX*4), Y5, Y1
+	VFMADD231PS (R8)(BX*4), Y4, Y2
+	VFMADD231PS 32(R8)(BX*4), Y5, Y3
+	ADDQ $16, BX
+	JMP  dloop16
+
+dsum:
+	VADDPS Y1, Y0, Y0
+	VADDPS Y3, Y2, Y2
+	VEXTRACTF128 $1, Y0, X1
+	VADDPS X1, X0, X0
+	VHADDPS X0, X0, X0
+	VHADDPS X0, X0, X0
+	VEXTRACTF128 $1, Y2, X3
+	VADDPS X3, X2, X2
+	VHADDPS X2, X2, X2
+	VHADDPS X2, X2, X2
+	VZEROUPPER
+	MOVSS X0, d0+32(FP)
+	MOVSS X2, d1+36(FP)
+	RET

@@ -1,0 +1,54 @@
+//go:build amd64
+
+package tensor
+
+import (
+	"math"
+	"testing"
+)
+
+// TestGemm32AsmMatchesPortable mirrors TestGemmAsmMatchesPortable for
+// the float32 kernels: SIMD dispatch on vs forced off must agree to
+// float32 round-off across spans that exercise the AVX2 body, the
+// AVX-512 body, and the scalar tails.
+func TestGemm32AsmMatchesPortable(t *testing.T) {
+	if !useAVX2FMA {
+		t.Skip("no SIMD kernel on this CPU")
+	}
+	save2, save512 := useAVX2FMA, useAVX512
+	defer func() { useAVX2FMA, useAVX512 = save2, save512 }()
+
+	g := NewRNG(99)
+	dims := []struct{ m, n, k int }{
+		{3, 5, 4},    // below every SIMD width: pure remainder
+		{4, 23, 9},   // AVX2 span + scalar tail
+		{6, 150, 37}, // AVX-512 span + tails
+		{5, 2050, 8}, // across a column block boundary
+	}
+	for _, d := range dims {
+		a := randSlice32(g, d.m*d.k)
+		b := randSlice32(g, d.k*d.n)
+		bt := randSlice32(g, d.n*d.k)
+
+		asmNN := make([]float32, d.m*d.n)
+		GemmPanelNN32(d.m, d.n, d.k, a, d.k, b, d.n, asmNN, d.n, false, 1)
+		asmNT := make([]float32, d.m*d.n)
+		GemmPanelNT32(d.m, d.n, d.k, a, d.k, bt, d.k, asmNT, d.n, false, 1)
+
+		useAVX2FMA, useAVX512 = false, false
+		portNN := make([]float32, d.m*d.n)
+		GemmPanelNN32(d.m, d.n, d.k, a, d.k, b, d.n, portNN, d.n, false, 1)
+		portNT := make([]float32, d.m*d.n)
+		GemmPanelNT32(d.m, d.n, d.k, a, d.k, bt, d.k, portNT, d.n, false, 1)
+		useAVX2FMA, useAVX512 = save2, save512
+
+		for i := range asmNN {
+			if math.Abs(float64(asmNN[i])-float64(portNN[i])) > gemm32Tol*(1+math.Abs(float64(portNN[i]))) {
+				t.Fatalf("dims %+v: NN asm[%d] = %g, portable %g", d, i, asmNN[i], portNN[i])
+			}
+			if math.Abs(float64(asmNT[i])-float64(portNT[i])) > gemm32Tol*(1+math.Abs(float64(portNT[i]))) {
+				t.Fatalf("dims %+v: NT asm[%d] = %g, portable %g", d, i, asmNT[i], portNT[i])
+			}
+		}
+	}
+}

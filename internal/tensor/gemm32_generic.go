@@ -1,0 +1,14 @@
+//go:build !amd64
+
+package tensor
+
+// Portable fallbacks for the float32 micro-kernels on non-amd64
+// targets, mirroring gemm_generic.go.
+
+func axpy4f32(c, b0, b1, b2, b3 []float32, a0, a1, a2, a3 float32) {
+	axpy4Go32(c, b0, b1, b2, b3, a0, a1, a2, a3)
+}
+
+func gemmDot232(a0, a1, b []float32) (float32, float32) {
+	return gemmDot2Go32(a0, a1, b)
+}

@@ -55,7 +55,7 @@ func Col2Im(cols []float64, c, h, w, k, pad int, x []float64) {
 func Im2ColWindow(x []float64, c, h, w, k, pad, j0, j1 int, cols []float64) {
 	oh, ow := ConvOutSize(h, k, pad), ConvOutSize(w, k, pad)
 	tw := j1 - j0
-	checkIm2Col("Im2ColWindow", x, c, h, w, k, pad, oh, ow, j0, j1, cols)
+	checkIm2Col("Im2ColWindow", len(x), c, h, w, k, pad, oh, ow, j0, j1, len(cols))
 	for ci := 0; ci < c; ci++ {
 		chBase := ci * h * w
 		for ky := 0; ky < k; ky++ {
@@ -101,7 +101,7 @@ func Im2ColWindow(x []float64, c, h, w, k, pad, j0, j1 int, cols []float64) {
 func Col2ImWindow(cols []float64, c, h, w, k, pad, j0, j1 int, x []float64) {
 	oh, ow := ConvOutSize(h, k, pad), ConvOutSize(w, k, pad)
 	tw := j1 - j0
-	checkIm2Col("Col2ImWindow", x, c, h, w, k, pad, oh, ow, j0, j1, cols)
+	checkIm2Col("Col2ImWindow", len(x), c, h, w, k, pad, oh, ow, j0, j1, len(cols))
 	for ci := 0; ci < c; ci++ {
 		chBase := ci * h * w
 		for ky := 0; ky < k; ky++ {
@@ -132,7 +132,10 @@ func Col2ImWindow(cols []float64, c, h, w, k, pad, j0, j1 int, x []float64) {
 	}
 }
 
-func checkIm2Col(op string, x []float64, c, h, w, k, pad, oh, ow, j0, j1 int, cols []float64) {
+// checkIm2Col validates a lowering window against its buffer lengths.
+// It takes lengths rather than slices so the float64 and float32
+// lowerings share it.
+func checkIm2Col(op string, xlen, c, h, w, k, pad, oh, ow, j0, j1, colslen int) {
 	if c <= 0 || h <= 0 || w <= 0 || k <= 0 || pad < 0 {
 		panic(fmt.Sprintf("tensor: %s invalid config c=%d h=%d w=%d k=%d pad=%d", op, c, h, w, k, pad))
 	}
@@ -142,10 +145,10 @@ func checkIm2Col(op string, x []float64, c, h, w, k, pad, oh, ow, j0, j1 int, co
 	if j0 < 0 || j1 > oh*ow || j0 >= j1 {
 		panic(fmt.Sprintf("tensor: %s window [%d:%d) out of range for %d output positions", op, j0, j1, oh*ow))
 	}
-	if len(x) < c*h*w {
-		panic(fmt.Sprintf("tensor: %s image buffer %d too short for %dx%dx%d", op, len(x), c, h, w))
+	if xlen < c*h*w {
+		panic(fmt.Sprintf("tensor: %s image buffer %d too short for %dx%dx%d", op, xlen, c, h, w))
 	}
-	if len(cols) < c*k*k*(j1-j0) {
-		panic(fmt.Sprintf("tensor: %s cols buffer %d too short for [%d x %d]", op, len(cols), c*k*k, j1-j0))
+	if colslen < c*k*k*(j1-j0) {
+		panic(fmt.Sprintf("tensor: %s cols buffer %d too short for [%d x %d]", op, colslen, c*k*k, j1-j0))
 	}
 }

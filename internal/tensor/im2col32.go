@@ -1,0 +1,98 @@
+package tensor
+
+// Float32 twins of the im2col/col2im lowerings in im2col.go. The
+// window geometry, padding handling, and write discipline are
+// identical — only the element type changes — so the f32 convolution
+// path (DESIGN.md §13) reuses the same tiling strategy and the same
+// validation.
+
+// Im2Col32 lowers the full CHW image x into cols, the float32 twin of
+// Im2Col.
+func Im2Col32(x []float32, c, h, w, k, pad int, cols []float32) {
+	oh, ow := ConvOutSize(h, k, pad), ConvOutSize(w, k, pad)
+	Im2ColWindow32(x, c, h, w, k, pad, 0, oh*ow, cols)
+}
+
+// Col2Im32 is the adjoint of Im2Col32 over the full output frame.
+func Col2Im32(cols []float32, c, h, w, k, pad int, x []float32) {
+	oh, ow := ConvOutSize(h, k, pad), ConvOutSize(w, k, pad)
+	Col2ImWindow32(cols, c, h, w, k, pad, 0, oh*ow, x)
+}
+
+// Im2ColWindow32 lowers output columns [j0, j1) of the CHW image x
+// into cols, a [C·K·K × (j1−j0)] row-major float32 panel. See
+// Im2ColWindow for the layout contract; every element of the panel is
+// written.
+func Im2ColWindow32(x []float32, c, h, w, k, pad, j0, j1 int, cols []float32) {
+	oh, ow := ConvOutSize(h, k, pad), ConvOutSize(w, k, pad)
+	tw := j1 - j0
+	checkIm2Col("Im2ColWindow32", len(x), c, h, w, k, pad, oh, ow, j0, j1, len(cols))
+	for ci := 0; ci < c; ci++ {
+		chBase := ci * h * w
+		for ky := 0; ky < k; ky++ {
+			for kx := 0; kx < k; kx++ {
+				row := cols[((ci*k+ky)*k+kx)*tw:][:tw]
+				x0 := max(0, pad-kx)
+				x1 := min(ow, w+pad-kx)
+				for oy := j0 / ow; oy*ow < j1; oy++ {
+					lo := max(j0, oy*ow) - oy*ow
+					hi := min(j1, (oy+1)*ow) - oy*ow
+					dst := row[oy*ow+lo-j0 : oy*ow+hi-j0]
+					iy := oy + ky - pad
+					cl := max(lo, x0)
+					cr := min(hi, x1)
+					if iy < 0 || iy >= h || cl >= cr {
+						for i := range dst {
+							dst[i] = 0
+						}
+						continue
+					}
+					for i := 0; i < cl-lo; i++ {
+						dst[i] = 0
+					}
+					copy(dst[cl-lo:cr-lo], x[chBase+iy*w+cl+kx-pad:][:cr-cl])
+					for i := cr - lo; i < hi-lo; i++ {
+						dst[i] = 0
+					}
+				}
+			}
+		}
+	}
+}
+
+// Col2ImWindow32 is the adjoint of Im2ColWindow32: it accumulates the
+// float32 panel cols back into the CHW image x, dropping entries that
+// came from padding. x is accumulated into, not overwritten.
+func Col2ImWindow32(cols []float32, c, h, w, k, pad, j0, j1 int, x []float32) {
+	oh, ow := ConvOutSize(h, k, pad), ConvOutSize(w, k, pad)
+	tw := j1 - j0
+	checkIm2Col("Col2ImWindow32", len(x), c, h, w, k, pad, oh, ow, j0, j1, len(cols))
+	for ci := 0; ci < c; ci++ {
+		chBase := ci * h * w
+		for ky := 0; ky < k; ky++ {
+			for kx := 0; kx < k; kx++ {
+				row := cols[((ci*k+ky)*k+kx)*tw:][:tw]
+				x0 := max(0, pad-kx)
+				x1 := min(ow, w+pad-kx)
+				for oy := j0 / ow; oy*ow < j1; oy++ {
+					iy := oy + ky - pad
+					if iy < 0 || iy >= h {
+						continue
+					}
+					lo := max(j0, oy*ow) - oy*ow
+					hi := min(j1, (oy+1)*ow) - oy*ow
+					cl := max(lo, x0)
+					cr := min(hi, x1)
+					if cl >= cr {
+						continue
+					}
+					src := row[oy*ow+cl-j0 : oy*ow+cr-j0]
+					dst := x[chBase+iy*w+cl+kx-pad:][:cr-cl]
+					for i, v := range src {
+						dst[i] += v
+					}
+				}
+			}
+		}
+	}
+}

@@ -5,8 +5,10 @@
 # concurrent-session rollout throughput (1 vs 4 sessions over one
 # Engine; the steps_per_s metric), the halo-exchange schedule ×
 # transport matrix ({mem,tcp} × {blocking,overlap} rollout steps/s),
-# and the micro-batched serving throughput (unbatched Predict vs
-# Batcher at batch 1/4/8/16; requests_per_s).
+# the micro-batched serving throughput (unbatched Predict vs
+# Batcher at batch 1/4/8/16; requests_per_s), the f64-vs-f32 session
+# rollout (PrecisionRollout; speedup_vs_f64), and the fused zero-alloc
+# f32 steady state (SteadyStateRollout; allocs_per_op pinned at 0).
 # Run from anywhere:
 #
 #   scripts/bench.sh                # writes BENCH_baseline.json
@@ -18,7 +20,7 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 
 OUT="${1:-BENCH_baseline.json}"
-BENCH="${BENCH:-ConvGEMMvsNaive|ConvGEMMWorkers|Table1_LayerForwardBackward|SessionConcurrentRollout|HaloOverlapVsBlocking|BatcherThroughput}"
+BENCH="${BENCH:-ConvGEMMvsNaive|ConvGEMMWorkers|Table1_LayerForwardBackward|SessionConcurrentRollout|HaloOverlapVsBlocking|BatcherThroughput|PrecisionRollout|SteadyStateRollout}"
 BENCHTIME="${BENCHTIME:-10x}"
 
 RAW="$(mktemp)"
@@ -29,12 +31,20 @@ go test -run '^$' -bench "$BENCH" -benchtime "$BENCHTIME" -benchmem -timeout 30m
 CPU="$(awk -F': ' '/^cpu:/{print $2; exit}' "$RAW")"
 [ -n "$CPU" ] || CPU="unknown"
 
+# The -N suffix on benchmark names is the GOMAXPROCS the run actually
+# used; record it so benchdiff can tell a scaling-capable baseline
+# from a serialized one. The testing package omits the suffix entirely
+# when GOMAXPROCS is 1, so no suffix means a serialized run.
+GMP="$(awk '/^Benchmark/{ if (match($1, /-[0-9]+$/)) { print substr($1, RSTART+1); exit } }' "$RAW")"
+[ -n "$GMP" ] || GMP=1
+
 {
 	echo "{"
 	echo "  \"generated\": \"$(date -u +%Y-%m-%dT%H:%M:%SZ)\","
 	echo "  \"go\": \"$(go version | awk '{print $3}')\","
 	echo "  \"cpu\": \"$CPU\","
 	echo "  \"cpus\": $(getconf _NPROCESSORS_ONLN 2>/dev/null || echo 0),"
+	echo "  \"gomaxprocs\": $GMP,"
 	echo "  \"command\": \"go test -run ^\$ -bench '$BENCH' -benchtime $BENCHTIME -benchmem .\","
 	echo "  \"benchmarks\": ["
 	awk '
