@@ -17,7 +17,7 @@ GO ?= go
 # Per-target budget for fuzz-smoke; CI keeps the default.
 FUZZTIME ?= 30s
 
-.PHONY: build test vet fmt race bench bench-smoke bench-baseline bench-compare smoke smoke-tcp smoke-serve smoke-swap smoke-chaos lint fuzz-smoke race-stress ci
+.PHONY: build test vet fmt race bench bench-smoke bench-baseline bench-compare smoke smoke-tcp smoke-serve smoke-swap smoke-chaos smoke-cluster lint fuzz-smoke race-stress ci
 
 build:
 	$(GO) build ./...
@@ -106,6 +106,16 @@ smoke-swap:
 smoke-chaos:
 	scripts/smoke_chaos.sh
 
+# Cluster smoke: 3 replica cmd/serve processes + 1 warm standby behind
+# cmd/router, sustained concurrent load, a rolling hot-swap and a
+# kill -9 of one replica both mid-load, then standby promotion —
+# asserting zero failed client requests, responses bit-identical to a
+# single-replica golden run, rolling-swap capacity never below N−1
+# (from the router's own metrics), and graceful drains
+# (scripts/smoke_cluster.sh, DESIGN.md §14).
+smoke-cluster:
+	scripts/smoke_cluster.sh
+
 # Compare a fresh benchmark run against the committed baseline and
 # fail on throughput or allocation regressions (scripts/bench_compare.sh,
 # cmd/benchdiff). BENCH/BENCHTIME narrow the sweep.
@@ -142,4 +152,4 @@ fuzz-smoke:
 race-stress:
 	$(GO) test -race -count=3 -shuffle=on ./internal/...
 
-ci: build fmt lint test race bench-smoke fuzz-smoke smoke smoke-tcp smoke-serve smoke-swap smoke-chaos
+ci: build fmt lint test race bench-smoke fuzz-smoke smoke smoke-tcp smoke-serve smoke-swap smoke-chaos smoke-cluster

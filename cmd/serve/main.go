@@ -75,6 +75,7 @@ func main() {
 		modelName    = flag.String("model", "", "name to publish the boot model under (default: the artifact manifest's name, or \"default\")")
 		modelVersion = flag.String("version", "", "version label for the boot model (default: the manifest's)")
 		initPath     = flag.String("init", "", "dataset (.gob) whose opening snapshots seed GET rollouts")
+		replicaID    = flag.String("replica", "", "fleet identity reported in /healthz when this process runs behind cmd/router")
 		workers      = flag.Int("workers", 0, "serving parallelism: ranks fan out per micro-batch and convolution kernels tile-parallelize (0 = single-threaded; results are bit-identical for any value)")
 		backend      = flag.String("conv", "gemm", "convolution engine: gemm | naive")
 		precision    = flag.String("precision", "f64", "serving compute precision: f64 (reference, bit-reproducible) | f32 (faster, within documented error budget)")
@@ -144,6 +145,7 @@ func main() {
 		MaxDelay:        *maxDelay,
 		MaxRolloutSteps: *maxSteps,
 		DefaultModel:    name,
+		Replica:         *replicaID,
 		EngineOptions:   engOpts,
 	}
 	if *accessLog {
@@ -192,6 +194,9 @@ func main() {
 	}
 	// Graceful drain: stop accepting, let in-flight handlers finish,
 	// then flush every model's batcher queue and drain the registry.
+	// Healthz flips to "draining" first so a router stops picking this
+	// replica while the listener winds down.
+	srv.SetDraining()
 	fmt.Println("draining…")
 	shutdownCtx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
 	defer cancel()

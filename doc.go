@@ -65,6 +65,24 @@
 // Example_batcher, Example_httpClient, Example_registryHotSwap) for
 // runnable end-to-end snippets.
 //
+// Above the single process sits cluster serving (DESIGN.md §14):
+// cmd/router (internal/router) fronts N replica cmd/serve processes
+// with a health-probed replica table (each replica's /healthz reports
+// ok/degraded/draining plus its default model version and in-flight
+// count; failed probes back off exponentially), least-loaded routing
+// for predict and rendezvous-hash session pinning for streaming
+// rollouts, and retry-once on connect failure — non-streaming
+// responses are buffered before committing, so a replica dying
+// mid-response replays invisibly on another replica while the dead
+// one is marked down at once. POST /v2/admin/swap on the router rolls
+// a deploy across the fleet one replica at a time, waiting for each
+// replica's healthz to converge on the new version, so capacity never
+// drops below N−1 (recorded as repro_router_swap_min_routable); warm
+// standby replicas are probed but unrouted until /v2/admin/promote.
+// `make smoke-cluster` proves the contract: kill -9 one replica under
+// sustained load and every client request still succeeds,
+// bit-identical to a single-replica golden run.
+//
 // The runtime is chaos-hardened and the serving path traced end to
 // end (DESIGN.md §11). mpi.WithChaos attaches a seeded, deterministic
 // fault plan (per-link delay / jitter / drop / duplicate / partition,

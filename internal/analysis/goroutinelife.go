@@ -8,7 +8,7 @@ import (
 
 // GoroutineLife enforces the goroutine-lifecycle discipline the PR 3
 // request-leak audit checked by hand: every `go` statement in the
-// runtime packages (core, mpi, serve) must be tied to a visible
+// runtime packages (core, mpi, serve, router) must be tied to a visible
 // drain/Close lifecycle, so Close can always reap what Run spawned.
 // A spawn is accepted when any of these holds:
 //
@@ -26,7 +26,7 @@ import (
 var GoroutineLife = &Analyzer{
 	Name:  "goroutinelife",
 	Doc:   "go statements in the runtime packages are tied to a WaitGroup or close(done) lifecycle",
-	Match: matchPackages("internal/core", "internal/mpi", "internal/serve"),
+	Match: matchPackages("internal/core", "internal/mpi", "internal/serve", "internal/router"),
 	Run:   runGoroutineLife,
 }
 

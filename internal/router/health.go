@@ -1,0 +1,214 @@
+package router
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"time"
+)
+
+// Health probing (DESIGN.md §14). One background goroutine ticks at
+// ProbeInterval and probes every replica that is due: healthy
+// replicas re-probe every tick, failed ones back off exponentially
+// (ProbeInterval << failures, capped at ProbeBackoffMax) so a dead
+// replica costs a bounded probe rate while still resurrecting within
+// one backoff period of coming back. A replica that fails mid-request
+// is marked Down immediately by the proxy path (markDown) with its
+// backoff clock reset, so the next tick re-probes it right away.
+
+// probeLoop is the prober goroutine; Close stops it via rt.stop and
+// waits on rt.probeDone.
+func (rt *Router) probeLoop() {
+	defer close(rt.probeDone)
+	t := time.NewTicker(rt.cfg.ProbeInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-rt.stop:
+			return
+		case <-t.C:
+			rt.probeAll(false)
+		}
+	}
+}
+
+// probeAll probes every replica (routed and standby) that is due;
+// force ignores the backoff schedule. Exported via ProbeNow for tests
+// and cmd/router's boot path.
+func (rt *Router) probeAll(force bool) {
+	for _, rep := range rt.routed() {
+		rt.probeOne(rep, force)
+	}
+	for _, rep := range rt.standbyList() {
+		rt.probeOne(rep, force)
+	}
+}
+
+// ProbeNow runs one synchronous probe pass over the whole table,
+// ignoring per-replica backoff. Tests use it instead of sleeping
+// through ticker periods.
+func (rt *Router) ProbeNow() { rt.probeAll(true) }
+
+// probeOne probes a single replica's /healthz and folds the result
+// into the table.
+func (rt *Router) probeOne(rep *replica, force bool) {
+	rep.mu.Lock()
+	due := force || !time.Now().Before(rep.nextProbe)
+	rep.mu.Unlock()
+	if !due {
+		return
+	}
+	// The prober is a context root by design: probes are not part of
+	// any request and outlive none.
+	ctx, cancel := context.WithTimeout(context.Background(), rt.cfg.ProbeTimeout)
+	h, err := rep.client.Health(ctx)
+	cancel()
+	if err != nil {
+		rep.mu.Lock()
+		rep.state = Down
+		rep.lastErr = err.Error()
+		rep.failures++
+		rep.nextProbe = time.Now().Add(probeBackoff(rt.cfg.ProbeInterval, rt.cfg.ProbeBackoffMax, rep.failures))
+		rep.mu.Unlock()
+		return
+	}
+	state := Down
+	errStr := ""
+	switch h.Status {
+	case "ok":
+		state = Ready
+	case "degraded":
+		state = Degraded
+	default: // "draining", "empty", anything unknown
+		errStr = "replica reports status " + h.Status
+	}
+	rep.mu.Lock()
+	rep.state = state
+	rep.version = h.DefaultVersion
+	rep.lastErr = errStr
+	rep.failures = 0
+	rep.nextProbe = time.Time{} // healthy cadence: every tick
+	rep.mu.Unlock()
+}
+
+// probeBackoff returns the wait before re-probing after `failures`
+// consecutive probe failures: base, 2·base, 4·base, … capped at max.
+func probeBackoff(base, max time.Duration, failures int) time.Duration {
+	if failures < 1 {
+		failures = 1
+	}
+	d := base
+	for i := 1; i < failures; i++ {
+		d *= 2
+		if d >= max {
+			return max
+		}
+	}
+	if d > max {
+		return max
+	}
+	return d
+}
+
+// ReplicaStatus is one fleet-health entry.
+type ReplicaStatus struct {
+	ID       string `json:"id"`
+	URL      string `json:"url"`
+	State    string `json:"state"` // ready | degraded | down
+	Version  string `json:"version,omitempty"`
+	Standby  bool   `json:"standby,omitempty"`
+	Inflight int64  `json:"inflight"`
+	Requests int64  `json:"requests"`
+	Error    string `json:"error,omitempty"`
+}
+
+// FleetHealth is the router's GET /healthz body: the fleet rollup
+// ("ok" all routed replicas ready, "degraded" at least one routable,
+// "down" none) plus the per-replica table the smoke suite asserts on.
+type FleetHealth struct {
+	Status   string          `json:"status"`
+	Ready    int             `json:"ready"`
+	Routable int             `json:"routable"`
+	Total    int             `json:"total"` // routed replicas (standbys excluded)
+	Replicas []ReplicaStatus `json:"replicas"`
+}
+
+// Fleet returns the current fleet view (what GET /healthz serves).
+func (rt *Router) Fleet() FleetHealth {
+	out := FleetHealth{}
+	add := func(rep *replica, standby bool) {
+		st, version, lastErr := rep.snapshot()
+		out.Replicas = append(out.Replicas, ReplicaStatus{
+			ID:       rep.id,
+			URL:      rep.url,
+			State:    st.String(),
+			Version:  version,
+			Standby:  standby,
+			Inflight: rep.inflight.Load(),
+			Requests: rep.requests.Load(),
+			Error:    lastErr,
+		})
+		if !standby {
+			out.Total++
+			if st != Down {
+				out.Routable++
+			}
+			if st == Ready {
+				out.Ready++
+			}
+		}
+	}
+	for _, rep := range rt.routed() {
+		add(rep, false)
+	}
+	for _, rep := range rt.standbyList() {
+		add(rep, true)
+	}
+	switch {
+	case out.Ready == out.Total:
+		out.Status = "ok"
+	case out.Routable > 0:
+		out.Status = "degraded"
+	default:
+		out.Status = "down"
+	}
+	return out
+}
+
+func (rt *Router) handleHealth(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(rt.Fleet())
+}
+
+// handleMetrics exports the router counters in the Prometheus text
+// format: fleet gauges, per-replica state/load, and the retry/failure
+// counters the kill-9 smoke asserts on.
+func (rt *Router) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	fleet := rt.Fleet()
+	fmt.Fprintf(w, "# TYPE repro_router_replicas gauge\nrepro_router_replicas %d\n", fleet.Total)
+	fmt.Fprintf(w, "# TYPE repro_router_ready_replicas gauge\nrepro_router_ready_replicas %d\n", fleet.Ready)
+	fmt.Fprintf(w, "# TYPE repro_router_routable_replicas gauge\nrepro_router_routable_replicas %d\n", fleet.Routable)
+	fmt.Fprintf(w, "# TYPE repro_router_requests_total counter\nrepro_router_requests_total %d\n", rt.requests.Load())
+	fmt.Fprintf(w, "# TYPE repro_router_retries_total counter\nrepro_router_retries_total %d\n", rt.retries.Load())
+	fmt.Fprintf(w, "# TYPE repro_router_failed_requests_total counter\nrepro_router_failed_requests_total %d\n", rt.failed.Load())
+	fmt.Fprintf(w, "# TYPE repro_router_swaps_total counter\nrepro_router_swaps_total %d\n", rt.swaps.Load())
+	fmt.Fprintf(w, "# TYPE repro_router_swap_min_routable gauge\nrepro_router_swap_min_routable %d\n", rt.swapMinRoutable.Load())
+	fmt.Fprintf(w, "# TYPE repro_router_replica_up gauge\n")
+	for _, rep := range fleet.Replicas {
+		up := 0
+		if rep.State != "down" {
+			up = 1
+		}
+		fmt.Fprintf(w, "repro_router_replica_up{replica=%q,state=%q,standby=\"%t\"} %d\n", rep.ID, rep.State, rep.Standby, up)
+	}
+	fmt.Fprintf(w, "# TYPE repro_router_replica_inflight gauge\n")
+	for _, rep := range fleet.Replicas {
+		fmt.Fprintf(w, "repro_router_replica_inflight{replica=%q} %d\n", rep.ID, rep.Inflight)
+	}
+	fmt.Fprintf(w, "# TYPE repro_router_replica_requests_total counter\n")
+	for _, rep := range fleet.Replicas {
+		fmt.Fprintf(w, "repro_router_replica_requests_total{replica=%q} %d\n", rep.ID, rep.Requests)
+	}
+}

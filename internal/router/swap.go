@@ -1,0 +1,142 @@
+package router
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"time"
+
+	"repro/internal/serve"
+)
+
+// Rolling hot-swap (DESIGN.md §14). POST /v2/admin/swap on the router
+// takes the same body as a replica's swap ({"name","version","dir"} —
+// the artifact directory must be readable by every replica) and
+// drives each replica's own zero-downtime /v2/admin/swap strictly in
+// sequence: the next replica is not touched until the previous one's
+// /healthz reports the new version. Each per-replica swap is itself
+// zero-downtime, so the fleet never has two replicas mid-swap and
+// capacity never drops below N−1 routable replicas; the minimum
+// routable count observed across the deploy is recorded
+// (repro_router_swap_min_routable) so the invariant is asserted, not
+// assumed. Down replicas are skipped (a dead replica must not block a
+// deploy — it re-joins on whatever version it has and gets the next
+// one). Standbys swap after the routed set, so a later promote serves
+// the fleet's current version. If any replica's swap fails or its
+// healthz never converges within SwapTimeout, the deploy aborts:
+// replicas not yet reached stay on the old version, and the error
+// names the replica that stalled.
+
+// SwapStep records one replica's part in a rolling swap.
+type SwapStep struct {
+	Replica string `json:"replica"`
+	From    string `json:"from,omitempty"`
+	To      string `json:"to,omitempty"`
+	Standby bool   `json:"standby,omitempty"`
+	Skipped string `json:"skipped,omitempty"` // non-empty: why the replica was skipped
+}
+
+// RollingSwapResponse is the router's /v2/admin/swap body. Its
+// op/name/version fields match serve.AdminResponse, so
+// serve.Client.AdminSwap drives a router transparently.
+type RollingSwapResponse struct {
+	Op          string     `json:"op"` // "rolling-swap"
+	Name        string     `json:"name"`
+	Version     string     `json:"version"`
+	MinRoutable int        `json:"min_routable"`
+	Steps       []SwapStep `json:"steps"`
+}
+
+func (rt *Router) handleSwap(w http.ResponseWriter, r *http.Request) {
+	var req serve.AdminRequest
+	if err := readJSON(r, &req); err != nil {
+		writeEnvelope(w, r, err, http.StatusBadRequest)
+		return
+	}
+	if req.Dir == "" {
+		writeEnvelope(w, r, fmt.Errorf("router: rolling swap needs a model artifact directory (\"dir\")"), http.StatusBadRequest)
+		return
+	}
+	resp, err := rt.rollingSwap(r.Context(), req)
+	if err != nil {
+		writeEnvelope(w, r, err, http.StatusGatewayTimeout)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(resp)
+}
+
+// rollingSwap drives the deploy. Serialized: two concurrent deploys
+// interleaving would break the one-replica-at-a-time invariant.
+func (rt *Router) rollingSwap(ctx context.Context, req serve.AdminRequest) (*RollingSwapResponse, error) {
+	rt.swapMu.Lock()
+	defer rt.swapMu.Unlock()
+	resp := &RollingSwapResponse{Op: "rolling-swap", Name: req.Name, Version: req.Version}
+	minRoutable := rt.routableCount()
+	step := func(rep *replica, standby bool) error {
+		st, from, lastErr := rep.snapshot()
+		s := SwapStep{Replica: rep.id, From: from, Standby: standby}
+		if st == Down {
+			s.Skipped = "replica down: " + lastErr
+			resp.Steps = append(resp.Steps, s)
+			rt.logf("rolling swap: skipping down replica %s (%s)", rep.id, lastErr)
+			return nil
+		}
+		ar, err := rep.client.AdminSwap(ctx, req.Name, req.Version, req.Dir)
+		if err != nil {
+			return fmt.Errorf("router: rolling swap aborted at replica %s (replicas after it keep the old version): %w", rep.id, err)
+		}
+		// The replica has accepted the swap; it counts as converged only
+		// once its own healthz reports the new version.
+		if err := rt.awaitVersion(ctx, rep, ar.Name, ar.Version); err != nil {
+			return err
+		}
+		s.To = ar.Version
+		resp.Steps = append(resp.Steps, s)
+		resp.Name, resp.Version = ar.Name, ar.Version
+		if n := rt.routableCount(); n < minRoutable {
+			minRoutable = n
+		}
+		rt.logf("rolling swap: replica %s now serves %s@%s", rep.id, ar.Name, ar.Version)
+		return nil
+	}
+	for _, rep := range rt.routed() {
+		if err := step(rep, false); err != nil {
+			return nil, err
+		}
+	}
+	for _, rep := range rt.standbyList() {
+		if err := step(rep, true); err != nil {
+			return nil, err
+		}
+	}
+	resp.MinRoutable = minRoutable
+	rt.swaps.Add(1)
+	rt.swapMinRoutable.Store(int64(minRoutable))
+	return resp, nil
+}
+
+// awaitVersion polls one replica's healthz (through the prober, so
+// the routing table sees the same freshness) until its default model
+// reports the wanted version, the per-replica SwapTimeout expires, or
+// the driving request is cancelled.
+func (rt *Router) awaitVersion(ctx context.Context, rep *replica, name, version string) error {
+	deadline := time.Now().Add(rt.cfg.SwapTimeout)
+	for {
+		rt.probeOne(rep, true)
+		if st, v, _ := rep.snapshot(); st != Down && v == version {
+			return nil
+		}
+		if time.Now().After(deadline) {
+			_, v, lastErr := rep.snapshot()
+			return fmt.Errorf("router: rolling swap aborted: replica %s accepted the swap to %s@%s but its healthz still reports version %q after %s (%s); replicas after it keep the old version",
+				rep.id, name, version, v, rt.cfg.SwapTimeout, lastErr)
+		}
+		select {
+		case <-ctx.Done():
+			return fmt.Errorf("router: rolling swap aborted at replica %s: %w", rep.id, context.Cause(ctx))
+		case <-time.After(rt.cfg.SwapPoll):
+		}
+	}
+}

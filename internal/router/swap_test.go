@@ -1,0 +1,193 @@
+package router
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+)
+
+func postSwap(t *testing.T, frontURL string) (*http.Response, []byte) {
+	t.Helper()
+	resp, err := http.Post(frontURL+"/v2/admin/swap", "application/json",
+		strings.NewReader(`{"name":"demo","version":"v2","dir":"/tmp/does-not-matter"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	return resp, body
+}
+
+// TestRollingSwapSequential: a fleet-wide swap touches every replica
+// exactly once, strictly one at a time, converges every replica on the
+// new version, and reports the minimum routable capacity (≥ N−1).
+func TestRollingSwapSequential(t *testing.T) {
+	gauge := &swapGauge{}
+	fakes, rt, front := newFleet(t, 3, func(_ *Config, fakes []*fakeReplica) {
+		for _, f := range fakes {
+			f.gauge = gauge
+			f.swapDelay = 20 * time.Millisecond
+		}
+	})
+	resp, body := postSwap(t, front.URL)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("swap status = %d: %s", resp.StatusCode, body)
+	}
+	var sw RollingSwapResponse
+	if err := json.Unmarshal(body, &sw); err != nil {
+		t.Fatalf("swap response not JSON: %v (%q)", err, body)
+	}
+	if sw.Op != "rolling-swap" || sw.Name != "demo" || sw.Version != "v2" {
+		t.Fatalf("swap identity = %s %s@%s, want rolling-swap demo@v2", sw.Op, sw.Name, sw.Version)
+	}
+	if len(sw.Steps) != 3 {
+		t.Fatalf("steps = %d, want one per replica", len(sw.Steps))
+	}
+	for i, step := range sw.Steps {
+		if step.Skipped != "" || step.To != "v2" || step.From != "v1" {
+			t.Fatalf("step %d = %+v, want v1→v2 unskipped", i, step)
+		}
+	}
+	if got := gauge.max.Load(); got != 1 {
+		t.Fatalf("%d replicas were mid-swap at once, want never more than 1", got)
+	}
+	if sw.MinRoutable < 2 {
+		t.Fatalf("routable capacity dropped to %d during the deploy, want ≥ N−1 = 2", sw.MinRoutable)
+	}
+	for _, f := range fakes {
+		if n := f.swapCalls.Load(); n != 1 {
+			t.Fatalf("replica %s swapped %d times, want 1", f.id, n)
+		}
+		if v := f.currentVersion(); v != "v2" {
+			t.Fatalf("replica %s still on %s", f.id, v)
+		}
+	}
+	if st := rt.Stats(); st.Swaps != 1 {
+		t.Fatalf("swap counter = %d, want 1", st.Swaps)
+	}
+}
+
+// TestRollingSwapAbortsWithoutConvergence: the middle replica accepts
+// the swap but its healthz never reports the new version — the deploy
+// must abort naming it, and the replica after it must never be
+// touched (it keeps the old version).
+func TestRollingSwapAbortsWithoutConvergence(t *testing.T) {
+	fakes, rt, front := newFleet(t, 3, func(cfg *Config, fakes []*fakeReplica) {
+		cfg.SwapTimeout = 100 * time.Millisecond
+		cfg.SwapPoll = 5 * time.Millisecond
+		fakes[1].holdVersion = true
+	})
+	resp, body := postSwap(t, front.URL)
+	if resp.StatusCode != http.StatusGatewayTimeout {
+		t.Fatalf("stalled swap status = %d (%s), want 504", resp.StatusCode, body)
+	}
+	if !strings.Contains(string(body), `"swap_aborted"`) || !strings.Contains(string(body), "r2") {
+		t.Fatalf("abort envelope %q should carry code swap_aborted and name replica r2", body)
+	}
+	if n := fakes[2].swapCalls.Load(); n != 0 {
+		t.Fatalf("replica after the stall was swapped %d times, want 0", n)
+	}
+	if v := fakes[0].currentVersion(); v != "v2" {
+		t.Fatalf("replica before the stall is on %s, want v2", v)
+	}
+	if v := fakes[2].currentVersion(); v != "v1" {
+		t.Fatalf("replica after the stall is on %s, want the old v1", v)
+	}
+	if st := rt.Stats(); st.Swaps != 0 {
+		t.Fatalf("aborted deploy counted as completed: %+v", st)
+	}
+}
+
+// TestRollingSwapSkipsDownReplica: a dead replica must not block the
+// deploy — it is recorded as skipped and the rest of the fleet
+// converges.
+func TestRollingSwapSkipsDownReplica(t *testing.T) {
+	fakes, rt, front := newFleet(t, 3, nil)
+	fakes[1].srv.Close()
+	rt.ProbeNow()
+	resp, body := postSwap(t, front.URL)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("swap status = %d: %s", resp.StatusCode, body)
+	}
+	var sw RollingSwapResponse
+	if err := json.Unmarshal(body, &sw); err != nil {
+		t.Fatal(err)
+	}
+	if len(sw.Steps) != 3 {
+		t.Fatalf("steps = %d, want 3 (including the skipped replica)", len(sw.Steps))
+	}
+	var skipped int
+	for _, step := range sw.Steps {
+		if step.Replica == "r2" {
+			if step.Skipped == "" {
+				t.Fatalf("dead replica r2 was not skipped: %+v", step)
+			}
+			skipped++
+		} else if step.To != "v2" {
+			t.Fatalf("live replica %s did not converge: %+v", step.Replica, step)
+		}
+	}
+	if skipped != 1 {
+		t.Fatalf("skipped entries = %d, want 1", skipped)
+	}
+	if n := fakes[1].swapCalls.Load(); n != 0 {
+		t.Fatalf("down replica received %d swap calls, want 0", n)
+	}
+}
+
+// TestRollingSwapIncludesStandbys: standbys swap after the routed set,
+// so a later promotion serves the fleet's current version.
+func TestRollingSwapIncludesStandbys(t *testing.T) {
+	standby := newFakeReplica("warm")
+	t.Cleanup(standby.srv.Close)
+	fakes, _, front := newFleet(t, 2, func(cfg *Config, _ []*fakeReplica) {
+		cfg.Standbys = []ReplicaSpec{{ID: "warm", URL: standby.srv.URL}}
+	})
+	resp, body := postSwap(t, front.URL)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("swap status = %d: %s", resp.StatusCode, body)
+	}
+	var sw RollingSwapResponse
+	if err := json.Unmarshal(body, &sw); err != nil {
+		t.Fatal(err)
+	}
+	if len(sw.Steps) != 3 {
+		t.Fatalf("steps = %d, want routed + standby", len(sw.Steps))
+	}
+	last := sw.Steps[len(sw.Steps)-1]
+	if last.Replica != "warm" || !last.Standby || last.To != "v2" {
+		t.Fatalf("last step = %+v, want the standby, swapped last", last)
+	}
+	if v := standby.currentVersion(); v != "v2" {
+		t.Fatalf("standby still on %s after the fleet swap", v)
+	}
+	for _, f := range fakes {
+		if v := f.currentVersion(); v != "v2" {
+			t.Fatalf("routed replica %s still on %s", f.id, v)
+		}
+	}
+}
+
+// TestSwapRequiresDir: the router rejects a swap without an artifact
+// directory before touching any replica.
+func TestSwapRequiresDir(t *testing.T) {
+	fakes, _, front := newFleet(t, 2, nil)
+	resp, err := http.Post(front.URL+"/v2/admin/swap", "application/json",
+		strings.NewReader(`{"name":"demo","version":"v2"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("dirless swap status = %d (%s), want 400", resp.StatusCode, body)
+	}
+	for _, f := range fakes {
+		if n := f.swapCalls.Load(); n != 0 {
+			t.Fatalf("replica %s was touched by a rejected swap", f.id)
+		}
+	}
+}

@@ -261,19 +261,37 @@ func (c *Client) AdminUnload(ctx context.Context, name string) (*AdminResponse, 
 	return c.admin(ctx, "unload", AdminRequest{Name: name})
 }
 
-// Healthy checks /healthz.
-func (c *Client) Healthy(ctx context.Context) error {
+// AdminPromote asks a cmd/router front end to move the named warm
+// standby replica into the routed set (POST /v2/admin/promote). It is
+// a router-only operation; a plain cmd/serve answers 404.
+func (c *Client) AdminPromote(ctx context.Context, replica string) (*AdminResponse, error) {
+	return c.admin(ctx, "promote", AdminRequest{Name: replica})
+}
+
+// Health fetches and decodes /healthz — the typed probe cmd/router's
+// replica table runs on (status, default model version, inflight).
+func (c *Client) Health(ctx context.Context) (*HealthResponse, error) {
 	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.BaseURL+"/healthz", nil)
 	if err != nil {
-		return err
+		return nil, err
 	}
 	resp, err := c.httpClient().Do(req)
 	if err != nil {
-		return err
+		return nil, err
 	}
 	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
-		return httpError(resp)
+		return nil, httpError(resp)
 	}
-	return nil
+	var h HealthResponse
+	if err := json.NewDecoder(resp.Body).Decode(&h); err != nil {
+		return nil, fmt.Errorf("serve: decoding healthz: %w", err)
+	}
+	return &h, nil
+}
+
+// Healthy checks /healthz.
+func (c *Client) Healthy(ctx context.Context) error {
+	_, err := c.Health(ctx)
+	return err
 }

@@ -1,0 +1,165 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+func getHealth(t *testing.T, base string) HealthResponse {
+	t.Helper()
+	resp, err := http.Get(base + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var h HealthResponse
+	if err := json.NewDecoder(resp.Body).Decode(&h); err != nil {
+		t.Fatal(err)
+	}
+	return h
+}
+
+// TestHealthzFleetFields pins the fields cmd/router routes on: the
+// replica identity, the default model's version, and the in-flight
+// request gauge.
+func TestHealthzFleetFields(t *testing.T) {
+	_, engA, _ := fixture2(t)
+	srv, _, base := newMultiServer(t, Config{DefaultModel: "m", Replica: "r7"})
+	if err := srv.LoadEngine("m", "vA", engA); err != nil {
+		t.Fatal(err)
+	}
+	h := getHealth(t, base)
+	if h.Replica != "r7" || h.DefaultVersion != "vA" || h.Inflight != 0 {
+		t.Fatalf("healthz fleet fields: %+v, want replica r7, default version vA, inflight 0", h)
+	}
+
+	// An acquired (in-flight) request shows up in the gauge and drops
+	// back out on release.
+	_, release, err := srv.acquire("m")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h := getHealth(t, base); h.Inflight != 1 {
+		t.Fatalf("inflight = %d with one request pinned, want 1", h.Inflight)
+	}
+	release()
+	if h := getHealth(t, base); h.Inflight != 0 {
+		t.Fatalf("inflight = %d after release, want 0", h.Inflight)
+	}
+}
+
+// TestHealthzDegradedDuringDrain: while a swapped-out version is still
+// draining behind an in-flight request, healthz reports "degraded" —
+// the router keeps routing there but prefers clean replicas.
+func TestHealthzDegradedDuringDrain(t *testing.T) {
+	_, engA, engB := fixture2(t)
+	srv, _, base := newMultiServer(t, Config{DefaultModel: "m"})
+	if err := srv.LoadEngine("m", "vA", engA); err != nil {
+		t.Fatal(err)
+	}
+	// Pin the old version, then swap: the displaced version cannot
+	// retire until the pin releases, so the drain stays pending.
+	_, release, err := srv.acquire("m")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.SwapEngine("m", "vB", engB); err != nil {
+		t.Fatal(err)
+	}
+	h := getHealth(t, base)
+	if h.Status != "degraded" {
+		t.Fatalf("status mid-drain = %q, want degraded", h.Status)
+	}
+	if h.DefaultVersion != "vB" {
+		t.Fatalf("default version mid-drain = %q, want the new vB", h.DefaultVersion)
+	}
+	release()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if h := getHealth(t, base); h.Status == "ok" {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("healthz stuck on %q after the drain released", getHealth(t, base).Status)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
+// TestHealthzDraining: SetDraining flips healthz to "draining" so a
+// router marks the replica down before the listener stops.
+func TestHealthzDraining(t *testing.T) {
+	_, engA, _ := fixture2(t)
+	srv, _, base := newMultiServer(t, Config{DefaultModel: "m"})
+	if err := srv.LoadEngine("m", "vA", engA); err != nil {
+		t.Fatal(err)
+	}
+	if h := getHealth(t, base); h.Status != "ok" {
+		t.Fatalf("pre-drain status = %q", h.Status)
+	}
+	srv.SetDraining()
+	if h := getHealth(t, base); h.Status != "draining" {
+		t.Fatalf("post-SetDraining status = %q, want draining", h.Status)
+	}
+}
+
+// TestClientErrorPaths covers the typed client against a misbehaving
+// server: error envelopes must surface their code, and a 200 with a
+// garbage body must fail decoding rather than return zero values.
+func TestClientErrorPaths(t *testing.T) {
+	t.Parallel()
+	envelope := func(w http.ResponseWriter, status int, code string) {
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(status)
+		json.NewEncoder(w).Encode(map[string]any{"error": map[string]string{"code": code, "message": "synthetic " + code}})
+	}
+	var mode string
+	hs := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		switch mode {
+		case "envelope":
+			envelope(w, http.StatusServiceUnavailable, "model_draining")
+		case "garbage":
+			w.Header().Set("Content-Type", "application/json")
+			w.Write([]byte("not json at all"))
+		}
+	}))
+	defer hs.Close()
+	c := NewClient(hs.URL)
+	ctx := context.Background()
+
+	mode = "envelope"
+	if _, err := c.Models(ctx); err == nil || !strings.Contains(err.Error(), "model_draining") {
+		t.Fatalf("Models against an error envelope: %v, want the envelope code surfaced", err)
+	}
+	if _, err := c.AdminSwap(ctx, "m", "v2", "/tmp/x"); err == nil || !strings.Contains(err.Error(), "model_draining") {
+		t.Fatalf("AdminSwap against an error envelope: %v", err)
+	}
+	if _, err := c.Health(ctx); err == nil || !strings.Contains(err.Error(), "model_draining") {
+		t.Fatalf("Health against an error status: %v, want the envelope surfaced", err)
+	}
+
+	mode = "garbage"
+	if _, err := c.Models(ctx); err == nil {
+		t.Fatal("Models decoded a garbage body without error")
+	}
+	if _, err := c.AdminSwap(ctx, "m", "v2", "/tmp/x"); err == nil {
+		t.Fatal("AdminSwap decoded a garbage body without error")
+	}
+	if _, err := c.Health(ctx); err == nil || !strings.Contains(err.Error(), "decoding healthz") {
+		t.Fatalf("Health on a garbage body: %v, want a decode error", err)
+	}
+
+	// Unreachable server: every call reports transport failure.
+	hs.Close()
+	if _, err := c.Health(ctx); err == nil {
+		t.Fatal("Health against a closed server succeeded")
+	}
+	if _, err := c.AdminPromote(ctx, "r1"); err == nil {
+		t.Fatal("AdminPromote against a closed server succeeded")
+	}
+}

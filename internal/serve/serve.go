@@ -145,6 +145,11 @@ type Config struct {
 	// from client, through the envelope or stream record, to the ranks
 	// it exercised.
 	AccessLog *log.Logger
+	// Replica, when set, is this process's fleet identity: /healthz
+	// reports it so cmd/router (DESIGN.md §14) can attribute a probe
+	// to a replica without trusting its own table (cmd/serve's
+	// -replica flag).
+	Replica string
 }
 
 // servedModel is the per-published-version serving state: the
@@ -174,11 +179,25 @@ type Server struct {
 	cfg      Config
 	reg      *core.Registry
 	deflt    string
+	replica  string
 	initials []*tensor.Tensor
 	maxSteps int
 	mux      *http.ServeMux
 
 	accessLog *log.Logger
+
+	// inflight counts predict/rollout requests currently being served
+	// (acquired, not yet released) across all models; /healthz reports
+	// it so the router can see a replica's live load.
+	inflight atomic.Int64
+	// drainsPending counts displaced versions still draining in the
+	// background: while non-zero the replica is serving but impaired
+	// (two versions alive), which /healthz reports as "degraded".
+	drainsPending atomic.Int64
+	// draining flips once shutdown has begun (SetDraining or Close):
+	// /healthz reports "draining" so a router stops routing here before
+	// the listener goes away.
+	draining atomic.Bool
 
 	mu     sync.RWMutex
 	models map[string]*servedModel
@@ -221,6 +240,7 @@ func NewMulti(reg *core.Registry, cfg Config) (*Server, error) {
 		cfg:       cfg,
 		reg:       reg,
 		deflt:     cfg.DefaultModel,
+		replica:   cfg.Replica,
 		initials:  cfg.Initials,
 		maxSteps:  cfg.MaxRolloutSteps,
 		mux:       http.NewServeMux(),
@@ -289,7 +309,7 @@ func (s *Server) newServedModel(name string, h *core.Handle) (*servedModel, erro
 // thread it through the context into core, and write the access-log
 // line once the handler returns.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
-	id := ensureRequestID(r)
+	id := EnsureRequestID(r)
 	w.Header().Set(RequestIDHeader, id)
 	r = r.WithContext(core.ContextWithRequestID(r.Context(), id))
 	rec := &statusRecorder{ResponseWriter: w}
@@ -328,8 +348,15 @@ func (s *Server) acquire(name string) (*servedModel, func(), error) {
 	}
 	sm.inflight.Add(1)
 	sm.requests.Add(1)
-	return sm, func() { sm.inflight.Done() }, nil
+	s.inflight.Add(1)
+	return sm, func() { sm.inflight.Done(); s.inflight.Add(-1) }, nil
 }
+
+// SetDraining flips /healthz to "draining" without refusing traffic:
+// cmd/serve calls it on SIGTERM before http.Server.Shutdown, so a
+// router probing this replica stops sending new requests while the
+// in-flight ones finish. Close sets it too.
+func (s *Server) SetDraining() { s.draining.Store(true) }
 
 // LoadEngine publishes an already-built engine under (name, version).
 func (s *Server) LoadEngine(name, version string, eng *core.Engine) error {
@@ -430,9 +457,11 @@ func (s *Server) retire(name string, old *servedModel) {
 // the admin caller.
 func (s *Server) drainInBackground(name string, old *servedModel) {
 	s.drains.Add(1)
+	s.drainsPending.Add(1)
 	go func() {
 		defer s.drains.Done()
 		s.retire(name, old)
+		s.drainsPending.Add(-1)
 	}()
 }
 
@@ -564,6 +593,7 @@ func (s *Server) Stats() core.BatcherStats {
 // after http.Server.Shutdown has drained in-flight handlers. Closing
 // twice is a no-op.
 func (s *Server) Close() error {
+	s.draining.Store(true)
 	s.adminMu.Lock()
 	defer s.adminMu.Unlock()
 	s.mu.Lock()

@@ -54,9 +54,11 @@ func sanitizeRequestID(id string) string {
 	return string(out)
 }
 
-// ensureRequestID returns the request's ID: the sanitized client
-// header if usable, a minted one otherwise.
-func ensureRequestID(r *http.Request) string {
+// EnsureRequestID returns the request's ID: the sanitized client
+// X-Request-ID header if usable, a freshly minted process-unique one
+// otherwise. Exported for cmd/router, which assigns the ID at the
+// fleet edge and propagates it to the replica it picks.
+func EnsureRequestID(r *http.Request) string {
 	if id := sanitizeRequestID(r.Header.Get(RequestIDHeader)); id != "" {
 		return id
 	}

@@ -160,23 +160,54 @@ func (s *Server) handleAdmin(w http.ResponseWriter, r *http.Request) {
 
 // HealthResponse is the body of GET /healthz: overall status plus
 // per-model readiness and registry state, so a probe (or an operator)
-// sees what is actually being served rather than a bare OK.
+// sees what is actually being served rather than a bare OK. The
+// status, version and inflight fields are the contract cmd/router's
+// health prober consumes (DESIGN.md §14):
+//
+//	"ok"       every published model is ready, nothing draining
+//	"degraded" serving, but impaired — a model not ready, or a
+//	           displaced version still draining after a swap
+//	"draining" shutdown has begun; stop routing here
+//	"empty"    no models published
 type HealthResponse struct {
-	Status  string        `json:"status"` // "ok" once at least one model serves
-	Default string        `json:"default"`
-	Swaps   int64         `json:"swaps"`
-	Models  []ModelStatus `json:"models"`
+	Status  string `json:"status"`
+	Default string `json:"default"`
+	// DefaultVersion is the published version of the default model —
+	// what a rolling swap waits on to declare this replica converged.
+	DefaultVersion string `json:"default_version,omitempty"`
+	// Replica is the process's fleet identity (cmd/serve -replica).
+	Replica string `json:"replica,omitempty"`
+	// Inflight is the number of predict/rollout requests currently in
+	// flight across all models.
+	Inflight int64         `json:"inflight"`
+	Swaps    int64         `json:"swaps"`
+	Models   []ModelStatus `json:"models"`
 }
 
 func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
 	resp := HealthResponse{
-		Status:  "ok",
-		Default: s.deflt,
-		Swaps:   s.reg.Swaps(),
-		Models:  s.Models(),
+		Default:  s.deflt,
+		Replica:  s.replica,
+		Inflight: s.inflight.Load(),
+		Swaps:    s.reg.Swaps(),
+		Models:   s.Models(),
 	}
-	if len(resp.Models) == 0 {
+	allReady := true
+	for _, m := range resp.Models {
+		if m.Name == resp.Default {
+			resp.DefaultVersion = m.Version
+		}
+		allReady = allReady && m.Ready
+	}
+	switch {
+	case s.draining.Load():
+		resp.Status = "draining"
+	case len(resp.Models) == 0:
 		resp.Status = "empty"
+	case !allReady || s.drainsPending.Load() > 0:
+		resp.Status = "degraded"
+	default:
+		resp.Status = "ok"
 	}
 	w.Header().Set("Content-Type", "application/json")
 	_ = json.NewEncoder(w).Encode(resp)

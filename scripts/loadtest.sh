@@ -40,19 +40,33 @@ END=$(( $(date +%s) + SECONDS_RUN ))
 for i in $(seq 1 "$WORKERS"); do
 	(
 		ok=0
+		fail=0
 		while [ "$(date +%s)" -lt "$END" ]; do
+			# -f turns HTTP >= 400 into a curl failure, so both transport
+			# errors and non-200 responses land in the failure count.
 			if curl -fsS -o /dev/null -X POST -H 'Content-Type: application/json' \
 				--data-binary @"$TMP/req.json" "$BASE/v1/predict"; then
 				ok=$((ok + 1))
+			else
+				fail=$((fail + 1))
 			fi
 		done
 		echo "$ok" >"$TMP/count_$i"
+		echo "$fail" >"$TMP/fail_$i"
 	) &
 done
 wait
 
 TOTAL=0
+FAILED=0
 for f in "$TMP"/count_*; do
 	TOTAL=$((TOTAL + $(cat "$f")))
 done
-echo "loadtest: $TOTAL requests in ${SECONDS_RUN}s = $(python3 -c "print(f'{$TOTAL/$SECONDS_RUN:.1f}')") req/s"
+for f in "$TMP"/fail_*; do
+	FAILED=$((FAILED + $(cat "$f")))
+done
+echo "loadtest: $TOTAL requests in ${SECONDS_RUN}s = $(python3 -c "print(f'{$TOTAL/$SECONDS_RUN:.1f}')") req/s, $FAILED failed"
+if [ "$FAILED" -gt 0 ]; then
+	echo "loadtest: FAIL: $FAILED request(s) failed"
+	exit 1
+fi
