@@ -17,7 +17,7 @@ GO ?= go
 # Per-target budget for fuzz-smoke; CI keeps the default.
 FUZZTIME ?= 30s
 
-.PHONY: build test vet fmt race bench bench-smoke bench-baseline bench-compare smoke smoke-tcp smoke-serve smoke-swap smoke-chaos smoke-cluster lint fuzz-smoke race-stress ci
+.PHONY: build test vet fmt race bench bench-smoke bench-baseline bench-compare smoke smoke-tcp smoke-serve smoke-swap smoke-chaos smoke-cluster smoke-admission lint fuzz-smoke race-stress ci
 
 build:
 	$(GO) build ./...
@@ -135,15 +135,23 @@ lint: vet
 		echo "lint: staticcheck not installed, skipping (CI runs it)"; \
 	fi
 
-# Native fuzz targets (internal/mpi: wire-frame codec and the chaos
-# rule DSL), FUZZTIME each. `go test -fuzz` accepts exactly one
-# target per invocation, hence the loop.
-FUZZ_TARGETS = FuzzTCPFrameRoundTrip FuzzTCPReadFrameHostile FuzzParseChaosRules
+# Native fuzz targets as package:target pairs (internal/mpi:
+# wire-frame codec and the chaos rule DSL; internal/admission: the
+# policy parser behind POST /v2/admin/policy and the LPM trie vs its
+# linear-scan oracle), FUZZTIME each. `go test -fuzz` accepts exactly
+# one target per invocation, hence the loop.
+FUZZ_TARGETS = \
+	./internal/mpi:FuzzTCPFrameRoundTrip \
+	./internal/mpi:FuzzTCPReadFrameHostile \
+	./internal/mpi:FuzzParseChaosRules \
+	./internal/admission:FuzzPolicyParse \
+	./internal/admission:FuzzTrieLookup
 
 fuzz-smoke:
 	@for t in $(FUZZ_TARGETS); do \
-		echo "fuzz-smoke: $$t ($(FUZZTIME))"; \
-		$(GO) test ./internal/mpi/ -run '^$$' -fuzz "^$$t$$" -fuzztime $(FUZZTIME) || exit 1; \
+		pkg="$${t%%:*}"; tgt="$${t##*:}"; \
+		echo "fuzz-smoke: $$pkg $$tgt ($(FUZZTIME))"; \
+		$(GO) test "$$pkg" -run '^$$' -fuzz "^$$tgt$$" -fuzztime $(FUZZTIME) || exit 1; \
 	done
 
 # Nightly race soak: three shuffled -race repetitions of the internal
@@ -152,4 +160,14 @@ fuzz-smoke:
 race-stress:
 	$(GO) test -race -count=3 -shuffle=on ./internal/...
 
-ci: build fmt lint test race bench-smoke fuzz-smoke smoke smoke-tcp smoke-serve smoke-swap smoke-chaos smoke-cluster
+# Admission smoke: cmd/serve behind an enforced policy under a
+# saturating burst — every request gets exactly one typed outcome
+# (200 / 429 rate_limited / 503 overloaded), gold-class traffic is
+# never shed before bulk, successful responses stay bit-identical to a
+# no-admission golden run, and a mid-load hot reload flips a denied
+# CIDR to allowed without dropping anything
+# (scripts/smoke_admission.sh, DESIGN.md §15).
+smoke-admission:
+	scripts/smoke_admission.sh
+
+ci: build fmt lint test race bench-smoke fuzz-smoke smoke smoke-tcp smoke-serve smoke-swap smoke-chaos smoke-cluster smoke-admission

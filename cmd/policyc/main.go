@@ -1,0 +1,104 @@
+// Command policyc compiles and checks admission policy files
+// (DESIGN.md §15). It is the offline half of the edge admission
+// pipeline: the same policy document cmd/serve and cmd/router enforce
+// in-process through the longest-prefix-match trie can be validated
+// before a deploy and compiled into an nftables ruleset for
+// kernel-level pre-filtering — the markpash/ir-access approach, where
+// large prefix sets become nft interval sets and the userspace
+// matcher is the portable fallback.
+//
+// Usage:
+//
+//	policyc -policy policy.json                      # validate + summary
+//	policyc -policy policy.json -emit nftables       # ruleset on stdout
+//	policyc -policy policy.json -emit nftables -port 8080 | nft -c -f -
+//
+// Exit status is non-zero on any validation error, so CI can gate
+// policy changes with `policyc -policy FILE`.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strings"
+
+	"repro/internal/admission"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("policyc: ")
+
+	var (
+		policyPath = flag.String("policy", "", "admission policy file to compile (required)")
+		emit       = flag.String("emit", "summary", "output: summary | nftables")
+		port       = flag.Int("port", 0, "scope the nftables filter to this TCP dport (0 = all inbound; required for a default-deny final drop)")
+	)
+	flag.Parse()
+	if *policyPath == "" {
+		log.Fatal("usage: policyc -policy FILE [-emit summary|nftables] [-port N]")
+	}
+
+	pol, err := admission.LoadPolicyFile(*policyPath)
+	if err != nil {
+		log.Fatal(err)
+	}
+	tab, err := pol.Compile()
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	switch *emit {
+	case "summary":
+		fmt.Printf("policy %s: OK\n", *policyPath)
+		fmt.Printf("  rules:          %d prefixes (default %s)\n", tab.Rules(), defaultAction(pol))
+		fmt.Printf("  classes:        %s (default %s)\n", classList(tab), defaultClass(pol, tab))
+		if pol.Rate > 0 {
+			fmt.Printf("  rate limit:     %g req/s, burst %g per client\n", pol.Rate, effectiveBurst(pol))
+		} else {
+			fmt.Printf("  rate limit:     off\n")
+		}
+		if pol.MaxConcurrent > 0 {
+			fmt.Printf("  shed budget:    %d concurrent\n", pol.MaxConcurrent)
+		} else {
+			fmt.Printf("  shed budget:    off\n")
+		}
+	case "nftables":
+		if err := tab.EmitNFTables(os.Stdout, *port); err != nil {
+			log.Fatal(err)
+		}
+	default:
+		log.Fatalf("unknown -emit %q (want summary or nftables)", *emit)
+	}
+}
+
+func defaultAction(p *admission.Policy) string {
+	if p.DefaultAction == "" {
+		return "allow"
+	}
+	return p.DefaultAction
+}
+
+func classList(tab *admission.Table) string {
+	return strings.Join(tab.Classes(), " > ")
+}
+
+func defaultClass(p *admission.Policy, tab *admission.Table) string {
+	if p.DefaultClass != "" {
+		return p.DefaultClass
+	}
+	names := tab.Classes()
+	return names[len(names)-1]
+}
+
+func effectiveBurst(p *admission.Policy) float64 {
+	if p.Burst > 0 {
+		return p.Burst
+	}
+	if p.Rate > 1 {
+		return p.Rate
+	}
+	return 1
+}

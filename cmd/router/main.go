@@ -31,8 +31,19 @@
 //	                        a replica never converges
 //	POST /v2/admin/promote  {"name":"r4"}: move a warm standby into the
 //	                        routed set
+//	GET|POST /v2/admin/policy  with -policy: read / hot-reload the edge
+//	                        admission policy (DESIGN.md §15); SIGHUP
+//	                        re-reads the -policy file
 //	everything else         proxied to a replica (predict, rollout,
 //	                        /v2/models, the /v1 surface)
+//
+// With -policy the router runs edge admission control ahead of
+// routing (DESIGN.md §15): CIDR allow/deny via a longest-prefix-match
+// trie, per-client token buckets, and priority load shedding, with
+// typed 403/429/503 envelopes and repro_admission_* metrics. The
+// router overwrites X-Forwarded-For with the connection's remote
+// address, so replicas behind it may trust the header via
+// -policy-xff. Without -policy admission is fully off.
 //
 // A request that dies on a replica before any response byte is
 // replayed once on another replica and the dead replica is marked
@@ -54,8 +65,47 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/admission"
 	"repro/internal/router"
 )
+
+// setupAdmission wraps the router in the edge admission Gate
+// (DESIGN.md §15) when -policy names a policy file — fleet-edge
+// admission, protecting every replica behind this router — and
+// arranges SIGHUP hot reloads. Mirrors cmd/serve's replica-side
+// wiring.
+func setupAdmission(handler http.Handler, policyPath string, accessLog *log.Logger) (http.Handler, error) {
+	if policyPath == "" {
+		return handler, nil
+	}
+	pol, err := admission.LoadPolicyFile(policyPath)
+	if err != nil {
+		return nil, err
+	}
+	gate, err := admission.New(handler, pol, admission.Config{AccessLog: accessLog})
+	if err != nil {
+		return nil, err
+	}
+	fmt.Printf("admission: policy %s (classes %s); reload via SIGHUP or POST %s\n",
+		policyPath, strings.Join(gate.Classes(), ","), admission.PolicyAdminPath)
+	hup := make(chan os.Signal, 1)
+	signal.Notify(hup, syscall.SIGHUP)
+	go func() {
+		for range hup {
+			pol, err := admission.LoadPolicyFile(policyPath)
+			if err != nil {
+				log.Printf("admission: SIGHUP reload: %v", err)
+				continue
+			}
+			if err := gate.SetPolicy(pol); err != nil {
+				log.Printf("admission: SIGHUP reload: %v", err)
+				continue
+			}
+			log.Printf("admission: policy reloaded from %s (reload #%d)", policyPath, gate.Reloads())
+		}
+	}()
+	return gate, nil
+}
 
 // specList collects repeated -replica / -standby id=url flags.
 type specList []router.ReplicaSpec
@@ -90,6 +140,7 @@ func main() {
 		swapTimeout   = flag.Duration("swap-timeout", 60*time.Second, "per-replica healthz-convergence timeout during a rolling swap")
 		drainTimeout  = flag.Duration("drain-timeout", 10*time.Second, "grace period for in-flight requests on shutdown")
 		accessLog     = flag.Bool("access-log", false, "log one line per routed request (method, path, status, replica, retries, request ID) to stderr")
+		policyPath    = flag.String("policy", "", "admission policy file (DESIGN.md §15) enforced at the fleet edge, ahead of replica picking; empty = admission off")
 	)
 	flag.Var(&replicas, "replica", "routed replica as id=url (repeatable)")
 	flag.Var(&standbys, "standby", "warm standby replica as id=url (repeatable): registered and health-probed but unrouted until POST /v2/admin/promote")
@@ -123,11 +174,16 @@ func main() {
 		fmt.Printf("%s %s at %s: %s (version %q)\n", role, rep.ID, rep.URL, rep.State, rep.Version)
 	}
 
+	handler, err := setupAdmission(rt, *policyPath, cfg.AccessLog)
+	if err != nil {
+		log.Fatal(err)
+	}
+
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
 		log.Fatal(err)
 	}
-	hs := &http.Server{Handler: rt}
+	hs := &http.Server{Handler: handler}
 	fmt.Printf("routing on %s (%d/%d replicas ready)\n", ln.Addr(), fleet.Ready, fleet.Total)
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)

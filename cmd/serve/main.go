@@ -27,6 +27,19 @@
 //	                                    new requests route to the new version immediately,
 //	                                    in-flight ones drain on the old
 //	POST /v2/admin/unload               {"name"}: retire a model
+//	GET|POST /v2/admin/policy           read / hot-reload the admission policy
+//	                                    (only with -policy; the POST body is the
+//	                                    whole policy JSON document)
+//
+// With -policy FILE the whole surface sits behind the edge admission
+// gate (DESIGN.md §15): CIDR allow/deny/class rules via a
+// longest-prefix-match trie, per-client token buckets (429
+// rate_limited + Retry-After), and priority-class load shedding
+// against a concurrency budget (503 overloaded, lowest class first).
+// SIGHUP re-reads the file and swaps the compiled policy atomically;
+// /healthz, /metrics and /v2/admin/* stay exempt so probes and the
+// un-wedging reload always get through. Without -policy nothing
+// changes: admission is fully off by default.
 //
 // The checkpoint directory may be a versioned model artifact
 // (manifest.json + digest-checked payloads, written by cmd/train) or
@@ -54,9 +67,11 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
+	"repro/internal/admission"
 	"repro/internal/core"
 	"repro/internal/dataset"
 	"repro/internal/mpi"
@@ -64,6 +79,49 @@ import (
 	"repro/internal/serve"
 	"repro/internal/tensor"
 )
+
+// setupAdmission wraps handler in the edge admission Gate (DESIGN.md
+// §15) when -policy names a policy file, and arranges SIGHUP to
+// re-read that file and hot-swap the compiled table (the other reload
+// path, POST /v2/admin/policy, is served by the Gate itself). Shared
+// verbatim in spirit with cmd/router — both front doors admit the
+// same way.
+func setupAdmission(handler http.Handler, policyPath string, trustXFF bool, accessLog *log.Logger) (http.Handler, error) {
+	if policyPath == "" {
+		return handler, nil
+	}
+	pol, err := admission.LoadPolicyFile(policyPath)
+	if err != nil {
+		return nil, err
+	}
+	gate, err := admission.New(handler, pol, admission.Config{
+		TrustForwardedFor: trustXFF,
+		AccessLog:         accessLog,
+	})
+	if err != nil {
+		return nil, err
+	}
+	tabClasses := strings.Join(gate.Classes(), ",")
+	fmt.Printf("admission: policy %s (classes %s); reload via SIGHUP or POST %s\n",
+		policyPath, tabClasses, admission.PolicyAdminPath)
+	hup := make(chan os.Signal, 1)
+	signal.Notify(hup, syscall.SIGHUP)
+	go func() {
+		for range hup {
+			pol, err := admission.LoadPolicyFile(policyPath)
+			if err != nil {
+				log.Printf("admission: SIGHUP reload: %v", err)
+				continue
+			}
+			if err := gate.SetPolicy(pol); err != nil {
+				log.Printf("admission: SIGHUP reload: %v", err)
+				continue
+			}
+			log.Printf("admission: policy reloaded from %s (reload #%d)", policyPath, gate.Reloads())
+		}
+	}()
+	return gate, nil
+}
 
 func main() {
 	log.SetFlags(0)
@@ -85,6 +143,8 @@ func main() {
 		maxSteps     = flag.Int("max-steps", 10000, "cap on the rollout steps query parameter")
 		drainTimeout = flag.Duration("drain-timeout", 10*time.Second, "grace period for in-flight requests on shutdown")
 		accessLog    = flag.Bool("access-log", false, "log one line per request (method, path, status, duration, request ID) plus rollout comm summaries to stderr")
+		policyPath   = flag.String("policy", "", "admission policy file (DESIGN.md §15): CIDR allow/deny/class rules, per-client rate limits, priority shed queues; empty = admission off")
+		policyXFF    = flag.Bool("policy-xff", false, "trust the first X-Forwarded-For entry as the client address (enable ONLY behind cmd/router or another header-overwriting proxy)")
 		chaosSpec    = flag.String("chaos", "", "fault-injection rules for session worlds, e.g. 'delay:*>*:d=2ms:p=0.5,drop:1>0:p=0.3' (kinds: delay|jitter|drop|dup|partition; testing only)")
 		chaosSeed    = flag.Int64("chaos-seed", 1, "seed for the deterministic chaos fault schedule")
 		chaosRecvTO  = flag.Duration("chaos-recv-timeout", 5*time.Second, "receive deadline under chaos: a starved rank fails stop instead of hanging")
@@ -175,11 +235,16 @@ func main() {
 		log.Fatal(err)
 	}
 
+	handler, err := setupAdmission(srv, *policyPath, *policyXFF, cfg.AccessLog)
+	if err != nil {
+		log.Fatal(err)
+	}
+
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
 		log.Fatal(err)
 	}
-	hs := &http.Server{Handler: srv}
+	hs := &http.Server{Handler: handler}
 	fmt.Printf("serving on %s\n", ln.Addr())
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)

@@ -83,6 +83,26 @@
 // sustained load and every client request still succeeds,
 // bit-identical to a single-replica golden run.
 //
+// Ahead of the batcher sits edge admission control (DESIGN.md §15).
+// internal/admission wraps the front door of both cmd/serve and
+// cmd/router (-policy, off by default) with three stages: CIDR
+// allow/deny/classify via a longest-prefix-match trie over client IPs
+// (IPv4 + IPv6, fuzzed against a linear-scan oracle), per-client
+// token buckets keyed by identity header else IP, and priority
+// classes with bounded deadline-aware queues that shed the lowest
+// class first — a high-class arrival displaces the newest low-class
+// waiter rather than being refused. Rejections are typed 403/429/503
+// envelopes with Retry-After; per-class shed counters and a shed-wait
+// histogram export on /metrics; the policy hot-reloads whole via
+// POST /v2/admin/policy or SIGHUP with zero drops (running requests
+// and bucket balances persist across the swap). cmd/policyc compiles
+// the same rule table into an nftables ruleset for kernel-level
+// pre-filtering, the in-process trie being the portable fallback.
+// `make smoke-admission` saturates a one-slot policy and asserts
+// every request gets exactly one typed outcome, gold-class traffic is
+// never shed while bulk waits, and served bodies stay bit-identical
+// to a no-admission golden run.
+//
 // The runtime is chaos-hardened and the serving path traced end to
 // end (DESIGN.md §11). mpi.WithChaos attaches a seeded, deterministic
 // fault plan (per-link delay / jitter / drop / duplicate / partition,
@@ -167,9 +187,10 @@
 // cmd/repolint, runnable standalone (`go run ./cmd/repolint ./...`)
 // or as `go vet -vettool`, gated by `make lint`, and re-asserted by a
 // tier-1 clean-tree test. Violations are suppressed only line-by-line
-// via `//repolint:allow <analyzer> -- <reason>`. The TCP frame codec
-// and the chaos rule DSL additionally carry native fuzz targets
-// (`make fuzz-smoke`; extended nightly with `make race-stress`).
+// via `//repolint:allow <analyzer> -- <reason>`. The TCP frame codec,
+// the chaos rule DSL, the admission policy parser and the LPM trie
+// additionally carry native fuzz targets (`make fuzz-smoke`; extended
+// nightly with `make race-stress`).
 //
 // The benchmark harness in bench_test.go regenerates every table and
 // figure of the paper's evaluation plus the serving exhibits

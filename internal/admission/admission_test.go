@@ -1,0 +1,402 @@
+package admission
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/serve"
+)
+
+// doReq runs one request through the gate with a pinned request ID so
+// rejection bodies are byte-for-byte golden. hdr holds key, value
+// pairs (a slice, not a map: this package's tests sit under detpath).
+func doReq(g *Gate, method, path string, hdr ...string) *httptest.ResponseRecorder {
+	r := httptest.NewRequest(method, path, nil)
+	r.Header.Set(serve.RequestIDHeader, "req-golden")
+	for i := 0; i+1 < len(hdr); i += 2 {
+		r.Header.Set(hdr[i], hdr[i+1])
+	}
+	rec := httptest.NewRecorder()
+	g.ServeHTTP(rec, r)
+	return rec
+}
+
+func TestDeniedEnvelopeGolden(t *testing.T) {
+	pol, err := ParsePolicy([]byte(`{"rules":[{"cidr":"192.0.2.0/24","action":"deny"}]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := newTestGate(t, pol, nil)
+	rec := doReq(g, http.MethodPost, "/v2/predict") // httptest RemoteAddr is 192.0.2.1:1234
+	if rec.Code != http.StatusForbidden {
+		t.Fatalf("status = %d, want 403", rec.Code)
+	}
+	const want = `{"error":{"code":"denied","message":"admission: client 192.0.2.1 is denied by traffic policy","request_id":"req-golden"}}` + "\n"
+	if rec.Body.String() != want {
+		t.Fatalf("body = %q, want %q", rec.Body.String(), want)
+	}
+	if got := rec.Header().Get(serve.RequestIDHeader); got != "req-golden" {
+		t.Fatalf("request ID header = %q, want the echo", got)
+	}
+	if rec.Header().Get("Retry-After") != "" {
+		t.Fatal("a policy denial must not advertise Retry-After: retrying cannot help")
+	}
+	if ct := rec.Header().Get("Content-Type"); ct != "application/json" {
+		t.Fatalf("Content-Type = %q", ct)
+	}
+}
+
+func TestRateLimitedEnvelopeGolden(t *testing.T) {
+	pol, err := ParsePolicy([]byte(`{"rate":0.5}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := newTestGate(t, pol, nil)
+	if rec := doReq(g, http.MethodPost, "/v2/predict"); rec.Code != http.StatusOK {
+		t.Fatalf("burst request status = %d, want 200", rec.Code)
+	}
+	rec := doReq(g, http.MethodPost, "/v2/predict")
+	if rec.Code != http.StatusTooManyRequests {
+		t.Fatalf("status = %d, want 429", rec.Code)
+	}
+	// burst defaults to max(rate,1)=1; with 0 tokens at rate 0.5/s the
+	// next token is 2s away — deterministic under the scripted clock.
+	if got := rec.Header().Get("Retry-After"); got != "2" {
+		t.Fatalf("Retry-After = %q, want \"2\"", got)
+	}
+	const want = `{"error":{"code":"rate_limited","message":"admission: rate limit exceeded for ip:192.0.2.1 (0.5 req/s, burst 1)","request_id":"req-golden"}}` + "\n"
+	if rec.Body.String() != want {
+		t.Fatalf("body = %q, want %q", rec.Body.String(), want)
+	}
+}
+
+func TestOverloadedEnvelopeGolden(t *testing.T) {
+	pol, err := ParsePolicy([]byte(`{"max_concurrent":1,"max_queue_wait":"1ms","retry_after":"3s"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := newTestGate(t, pol, nil)
+	// Hold the only slot so the request queues, times out (the 1ms
+	// wait floors to 10ms of real time), and sheds.
+	if out, _ := g.admit(context.Background(), 0, 4, 1); out != admitGranted {
+		t.Fatal("could not occupy the slot")
+	}
+	defer g.release()
+	rec := doReq(g, http.MethodPost, "/v2/predict")
+	if rec.Code != http.StatusServiceUnavailable {
+		t.Fatalf("status = %d, want 503", rec.Code)
+	}
+	if got := rec.Header().Get("Retry-After"); got != "3" {
+		t.Fatalf("Retry-After = %q, want the policy's 3s hint", got)
+	}
+	// The scripted clock is pinned, so the reported queue time is 0s.
+	const want = `{"error":{"code":"overloaded","message":"admission: overloaded, class \"default\" shed after 0s queued","request_id":"req-golden"}}` + "\n"
+	if rec.Body.String() != want {
+		t.Fatalf("body = %q, want %q", rec.Body.String(), want)
+	}
+}
+
+func TestExemptRoutes(t *testing.T) {
+	pol, err := ParsePolicy([]byte(`{"default_action":"deny"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var innerPaths []string
+	inner := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		innerPaths = append(innerPaths, r.URL.Path)
+		w.WriteHeader(http.StatusOK)
+	})
+	g := newTestGate(t, pol, inner)
+
+	// Enforced routes are denied under default deny…
+	if rec := doReq(g, http.MethodPost, "/v2/predict"); rec.Code != http.StatusForbidden {
+		t.Fatalf("/v2/predict status = %d, want 403", rec.Code)
+	}
+	// …but health, metrics and admin stay reachable: the reload that
+	// fixes a bad policy must work while the policy is rejecting.
+	for _, path := range []string{"/healthz", "/metrics", "/v2/admin/swap"} {
+		if rec := doReq(g, http.MethodGet, path); rec.Code != http.StatusOK {
+			t.Fatalf("%s status = %d, want 200 (exempt)", path, rec.Code)
+		}
+	}
+	if len(innerPaths) != 3 {
+		t.Fatalf("inner saw %v, want exactly the three exempt routes", innerPaths)
+	}
+}
+
+func TestClassResolutionPrecedence(t *testing.T) {
+	// A CIDR class assignment outranks the client's class header: the
+	// network policy cannot be escalated past. The shed message names
+	// the class, which is how this test observes the resolution.
+	const polJSON = `{
+		"max_concurrent": 1,
+		"class_header": "X-Class",
+		"classes": [{"name": "gold"}, {"name": "bulk"}],
+		"rules": [{"cidr": "192.0.2.0/24", "class": "bulk"}]
+	}`
+	pol, err := ParsePolicy([]byte(polJSON))
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := newTestGate(t, pol, nil)
+	if out, _ := g.admit(context.Background(), 0, 4, 1); out != admitGranted {
+		t.Fatal("could not occupy the slot")
+	}
+	defer g.release()
+
+	shedClass := func(classHeader string) string {
+		t.Helper()
+		r := httptest.NewRequest(http.MethodPost, "/v2/predict", nil)
+		if classHeader != "" {
+			r.Header.Set("X-Class", classHeader)
+		}
+		ctx, cancel := context.WithCancel(r.Context())
+		cancel() // shed immediately instead of waiting out the queue
+		rec := httptest.NewRecorder()
+		g.ServeHTTP(rec, r.WithContext(ctx))
+		if rec.Code != http.StatusServiceUnavailable {
+			t.Fatalf("status = %d, want 503", rec.Code)
+		}
+		var env errorEnvelope
+		if err := json.Unmarshal(rec.Body.Bytes(), &env); err != nil {
+			t.Fatal(err)
+		}
+		start := strings.Index(env.Error.Message, `class "`)
+		rest := env.Error.Message[start+len(`class "`):]
+		return rest[:strings.Index(rest, `"`)]
+	}
+
+	// The 192.0.2.0/24 rule pins the class to bulk even when the
+	// header asks for gold.
+	if got := shedClass("gold"); got != "bulk" {
+		t.Fatalf("rule-assigned class = %q, want bulk (rule wins over header)", got)
+	}
+
+	// Drop the rule: now the header picks the class, and an unknown
+	// header name falls back to the default (last) class.
+	polNoRule, err := ParsePolicy([]byte(`{
+		"max_concurrent": 1,
+		"class_header": "X-Class",
+		"classes": [{"name": "gold"}, {"name": "bulk"}]
+	}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := g.SetPolicy(polNoRule); err != nil {
+		t.Fatal(err)
+	}
+	if got := shedClass("gold"); got != "gold" {
+		t.Fatalf("header class = %q, want gold", got)
+	}
+	if got := shedClass("platinum"); got != "bulk" {
+		t.Fatalf("unknown header class = %q, want the default bulk", got)
+	}
+}
+
+func TestForwardedForTrust(t *testing.T) {
+	pol, err := ParsePolicy([]byte(`{"rules":[{"cidr":"203.0.113.0/24","action":"deny"}]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Untrusted (the default): the header is ignored, the connection's
+	// address (192.0.2.1) decides — allowed.
+	g := newTestGate(t, pol, nil)
+	if rec := doReq(g, http.MethodPost, "/v2/predict", "X-Forwarded-For", "203.0.113.9, 10.0.0.1"); rec.Code != http.StatusOK {
+		t.Fatalf("untrusted XFF status = %d, want 200", rec.Code)
+	}
+
+	// Trusted (behind cmd/router, which overwrites the header): the
+	// first XFF entry is the client and the deny rule fires.
+	gt, err := New(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusOK)
+	}), pol, Config{Now: func() time.Time { return clockAt(0) }, TrustForwardedFor: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := doReq(gt, http.MethodPost, "/v2/predict", "X-Forwarded-For", "203.0.113.9, 10.0.0.1")
+	if rec.Code != http.StatusForbidden {
+		t.Fatalf("trusted XFF status = %d, want 403", rec.Code)
+	}
+	if !strings.Contains(rec.Body.String(), "203.0.113.9") {
+		t.Fatalf("denial names the wrong address: %s", rec.Body.String())
+	}
+}
+
+func TestPolicyAdminRoute(t *testing.T) {
+	pol, err := ParsePolicy([]byte(`{"rate":5}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := newTestGate(t, pol, nil)
+
+	// GET echoes the enforced policy.
+	rec := doReq(g, http.MethodGet, PolicyAdminPath)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("GET status = %d", rec.Code)
+	}
+	var got Policy
+	if err := json.Unmarshal(rec.Body.Bytes(), &got); err != nil {
+		t.Fatal(err)
+	}
+	if got.Rate != 5 {
+		t.Fatalf("GET returned rate %g, want 5", got.Rate)
+	}
+
+	// POST swaps the policy atomically.
+	r := httptest.NewRequest(http.MethodPost, PolicyAdminPath,
+		strings.NewReader(`{"rules":[{"cidr":"192.0.2.0/24","action":"deny"}]}`))
+	rec = httptest.NewRecorder()
+	g.ServeHTTP(rec, r)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("POST status = %d: %s", rec.Code, rec.Body.String())
+	}
+	if want := `{"op":"policy","rules":1,"classes":1,"reloads":1}` + "\n"; rec.Body.String() != want {
+		t.Fatalf("POST body = %q, want %q", rec.Body.String(), want)
+	}
+	if g.Reloads() != 1 {
+		t.Fatalf("Reloads() = %d, want 1", g.Reloads())
+	}
+	if rec := doReq(g, http.MethodPost, "/v2/predict"); rec.Code != http.StatusForbidden {
+		t.Fatalf("post-reload status = %d, want 403 under the new policy", rec.Code)
+	}
+
+	// A bad policy is refused and the enforced one stays.
+	r = httptest.NewRequest(http.MethodPost, PolicyAdminPath, strings.NewReader(`{"rate":-1}`))
+	rec = httptest.NewRecorder()
+	g.ServeHTTP(rec, r)
+	if rec.Code != http.StatusBadRequest || !strings.Contains(rec.Body.String(), "bad_policy") {
+		t.Fatalf("bad policy POST: status %d body %s", rec.Code, rec.Body.String())
+	}
+	if g.Reloads() != 1 {
+		t.Fatal("a refused policy still counted as a reload")
+	}
+
+	// Oversized bodies are cut off before parsing.
+	r = httptest.NewRequest(http.MethodPost, PolicyAdminPath, strings.NewReader(`{"default_class":"`+strings.Repeat("x", 1<<20)+`"}`))
+	rec = httptest.NewRecorder()
+	g.ServeHTTP(rec, r)
+	if rec.Code != http.StatusRequestEntityTooLarge || !strings.Contains(rec.Body.String(), "too_large") {
+		t.Fatalf("oversized POST: status %d body %s", rec.Code, rec.Body.String())
+	}
+
+	if rec := doReq(g, http.MethodDelete, PolicyAdminPath); rec.Code != http.StatusMethodNotAllowed {
+		t.Fatalf("DELETE status = %d, want 405", rec.Code)
+	}
+}
+
+func TestMetricsAppended(t *testing.T) {
+	pol, err := ParsePolicy([]byte(`{"rate":1,"rules":[{"cidr":"198.51.100.0/24","action":"deny"}]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	inner := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path == "/metrics" {
+			_, _ = w.Write([]byte("inner_metric 1\n"))
+			return
+		}
+		w.WriteHeader(http.StatusOK)
+	})
+	g := newTestGate(t, pol, inner)
+
+	doReq(g, http.MethodPost, "/v2/predict") // allowed
+	doReq(g, http.MethodPost, "/v2/predict") // rate limited
+
+	rec := doReq(g, http.MethodGet, "/metrics")
+	out := rec.Body.String()
+	if !strings.HasPrefix(out, "inner_metric 1\n") {
+		t.Fatalf("inner exposition missing or not first:\n%s", out)
+	}
+	for _, want := range []string{
+		"repro_admission_allowed_total 1",
+		"repro_admission_rate_limited_total 1",
+		"repro_admission_denied_total 0",
+		`repro_admission_shed_total{class="default"} 0`,
+		"repro_admission_rules 1",
+		"repro_admission_buckets 1",
+		"repro_admission_queued 0",
+		"repro_admission_running 0",
+		"repro_admission_shed_wait_seconds_count 0",
+		`repro_admission_shed_wait_seconds_bucket{le="+Inf"} 0`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("metrics missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// Hot reload under load: requests hammer the gate while the policy
+// swaps between configurations every few requests. No request may be
+// dropped, hang, or see anything but a 200 or a typed refusal.
+func TestHotReloadMidLoadZeroDrops(t *testing.T) {
+	polA, err := ParsePolicy([]byte(`{"max_concurrent":4,"max_queue_wait":"5s"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	polB, err := ParsePolicy([]byte(`{"max_concurrent":2,"max_queue_wait":"5s",
+		"classes":[{"name":"gold"},{"name":"bulk","queue":64}]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	polC := &Policy{} // queue stage off: flushes every waiter
+	g := newTestGate(t, polA, nil)
+
+	const clients, perClient = 8, 50
+	var wg sync.WaitGroup
+	codes := make(chan int, clients*perClient)
+	for i := 0; i < clients; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < perClient; j++ {
+				rec := httptest.NewRecorder()
+				g.ServeHTTP(rec, httptest.NewRequest(http.MethodPost, "/v2/predict", nil))
+				codes <- rec.Code
+			}
+		}()
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 60; i++ {
+			for _, p := range []*Policy{polB, polC, polA} {
+				if err := g.SetPolicy(p); err != nil {
+					t.Errorf("SetPolicy: %v", err)
+					return
+				}
+			}
+		}
+	}()
+	wg.Wait()
+	close(codes)
+
+	total, ok := 0, 0
+	for code := range codes {
+		total++
+		switch code {
+		case http.StatusOK:
+			ok++
+		case http.StatusServiceUnavailable:
+			// a typed shed is an acceptable outcome under load
+		default:
+			t.Fatalf("request saw status %d; want only 200 or 503", code)
+		}
+	}
+	if total != clients*perClient {
+		t.Fatalf("%d of %d requests accounted for", total, clients*perClient)
+	}
+	if ok == 0 {
+		t.Fatal("no request succeeded under reload churn")
+	}
+	g.schedMu.Lock()
+	queued, running := g.sched.queuedLocked(), g.sched.running
+	g.schedMu.Unlock()
+	if queued != 0 || running != 0 {
+		t.Fatalf("queued=%d running=%d after the load drained, want 0/0", queued, running)
+	}
+}

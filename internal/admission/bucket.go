@@ -1,0 +1,105 @@
+package admission
+
+import (
+	"math"
+	"sync"
+	"time"
+)
+
+// Token buckets, one per client identity (stage 2 of the pipeline).
+// The bucket map persists across policy reloads — a reload changes
+// rate/burst for the NEXT refill, it does not hand every client a
+// fresh burst — and is garbage-collected lazily: every gcEvery takes,
+// one sweep evicts buckets idle longer than bucketIdleTTL, so a churn
+// of spoofed identities costs an amortized O(1) per request instead
+// of a resident bucket forever.
+//
+// Time is injected (the Gate's clock), never read here: the package
+// sits under the detpath analyzer, and refill arithmetic being a pure
+// function of the injected timestamps is what makes the refill tests
+// deterministic.
+
+// gcEvery is the take count between idle sweeps.
+const gcEvery = 1024
+
+// bucketIdleTTL is how long an untouched bucket survives a sweep. Any
+// client that stayed away this long has a full bucket anyway, so
+// eviction never forgives a debt.
+const bucketIdleTTL = 5 * time.Minute
+
+// bucket is one client's token state.
+type bucket struct {
+	key    string
+	tokens float64
+	last   time.Time
+}
+
+// buckets is the identity → bucket table. entries mirrors the map so
+// sweeps iterate a slice (deterministically, and detpath-clean) —
+// the map is only ever indexed by key.
+type buckets struct {
+	mu      sync.Mutex
+	m       map[string]*bucket
+	entries []*bucket
+	takes   int
+}
+
+func newBuckets() *buckets {
+	return &buckets{m: make(map[string]*bucket)}
+}
+
+// take withdraws one token from key's bucket at time now, refilling
+// at rate tokens/second up to burst. It reports whether the request
+// is admitted and, when it is not, how long until the next token.
+func (b *buckets) take(key string, rate, burst float64, now time.Time) (bool, time.Duration) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.takes++
+	if b.takes%gcEvery == 0 {
+		b.sweep(now)
+	}
+	bk := b.m[key]
+	if bk == nil {
+		bk = &bucket{key: key, tokens: burst, last: now}
+		b.m[key] = bk
+		b.entries = append(b.entries, bk)
+	} else {
+		elapsed := now.Sub(bk.last).Seconds()
+		if elapsed > 0 {
+			bk.tokens = math.Min(burst, bk.tokens+elapsed*rate)
+		}
+		bk.last = now
+	}
+	if bk.tokens > burst {
+		bk.tokens = burst // a reload shrank the burst
+	}
+	if bk.tokens >= 1 {
+		bk.tokens--
+		return true, 0
+	}
+	wait := time.Duration((1 - bk.tokens) / rate * float64(time.Second))
+	return false, wait
+}
+
+// sweep evicts buckets idle past bucketIdleTTL. Called under mu.
+func (b *buckets) sweep(now time.Time) {
+	kept := b.entries[:0]
+	for _, bk := range b.entries {
+		if now.Sub(bk.last) > bucketIdleTTL {
+			delete(b.m, bk.key)
+			continue
+		}
+		kept = append(kept, bk)
+	}
+	for i := len(kept); i < len(b.entries); i++ {
+		b.entries[i] = nil
+	}
+	b.entries = kept
+}
+
+// len reports the live bucket count (the /metrics gauge).
+func (b *buckets) len() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return len(b.m)
+}

@@ -1,0 +1,142 @@
+package admission
+
+import (
+	"testing"
+	"time"
+)
+
+// clockAt builds a fixed test epoch; the package is detpath-scoped, so
+// tests script the clock instead of reading it.
+func clockAt(d time.Duration) time.Time {
+	return time.Unix(1_700_000_000, 0).Add(d)
+}
+
+func TestBucketRefillDeterminism(t *testing.T) {
+	b := newBuckets()
+	const rate, burst = 2.0, 2.0
+
+	// The first burst drains the bucket.
+	for i := 0; i < 2; i++ {
+		if ok, _ := b.take("k", rate, burst, clockAt(0)); !ok {
+			t.Fatalf("take %d of the initial burst refused", i)
+		}
+	}
+	ok, wait := b.take("k", rate, burst, clockAt(0))
+	if ok {
+		t.Fatal("take beyond burst admitted")
+	}
+	if wait != 500*time.Millisecond {
+		t.Fatalf("wait = %v, want 500ms (1 token at 2/s)", wait)
+	}
+
+	// 250ms refills half a token: still refused, half the wait left.
+	ok, wait = b.take("k", rate, burst, clockAt(250*time.Millisecond))
+	if ok || wait != 250*time.Millisecond {
+		t.Fatalf("after 250ms: ok=%v wait=%v, want refused with 250ms", ok, wait)
+	}
+
+	// Another 250ms completes the token.
+	if ok, _ = b.take("k", rate, burst, clockAt(500*time.Millisecond)); !ok {
+		t.Fatal("take after a full refill interval refused")
+	}
+
+	// The same timestamp sequence is a pure function: replay it on a
+	// fresh table and every outcome matches.
+	b2 := newBuckets()
+	steps := []struct {
+		at   time.Duration
+		ok   bool
+		wait time.Duration
+	}{
+		{0, true, 0}, {0, true, 0},
+		{0, false, 500 * time.Millisecond},
+		{250 * time.Millisecond, false, 250 * time.Millisecond},
+		{500 * time.Millisecond, true, 0},
+	}
+	for i, s := range steps {
+		ok, wait := b2.take("k", rate, burst, clockAt(s.at))
+		if ok != s.ok || wait != s.wait {
+			t.Fatalf("replay step %d: got (%v, %v), want (%v, %v)", i, ok, wait, s.ok, s.wait)
+		}
+	}
+}
+
+func TestBucketBurstCap(t *testing.T) {
+	b := newBuckets()
+	if ok, _ := b.take("k", 1, 3, clockAt(0)); !ok {
+		t.Fatal("first take refused")
+	}
+	// An hour idle refills to burst, not rate*3600.
+	for i := 0; i < 3; i++ {
+		if ok, _ := b.take("k", 1, 3, clockAt(time.Hour)); !ok {
+			t.Fatalf("take %d after refill-to-burst refused", i)
+		}
+	}
+	if ok, _ := b.take("k", 1, 3, clockAt(time.Hour)); ok {
+		t.Fatal("take 4 admitted: refill overshot the burst cap")
+	}
+}
+
+func TestBucketReloadShrinksBurst(t *testing.T) {
+	b := newBuckets()
+	// Bank 4 tokens under burst 5.
+	if ok, _ := b.take("k", 1, 5, clockAt(0)); !ok {
+		t.Fatal("take under burst 5 refused")
+	}
+	// A reload shrank the burst to 2: the banked balance is clamped,
+	// so only 2 of the 4 banked tokens survive.
+	for i := 0; i < 2; i++ {
+		if ok, _ := b.take("k", 1, 2, clockAt(0)); !ok {
+			t.Fatalf("take %d under the shrunk burst refused", i)
+		}
+	}
+	if ok, _ := b.take("k", 1, 2, clockAt(0)); ok {
+		t.Fatal("shrunk burst still honored the old banked balance")
+	}
+}
+
+func TestBucketKeysAreIndependent(t *testing.T) {
+	b := newBuckets()
+	if ok, _ := b.take("a", 1, 1, clockAt(0)); !ok {
+		t.Fatal("first client refused")
+	}
+	if ok, _ := b.take("a", 1, 1, clockAt(0)); ok {
+		t.Fatal("first client's second take admitted")
+	}
+	if ok, _ := b.take("b", 1, 1, clockAt(0)); !ok {
+		t.Fatal("second client starved by the first client's bucket")
+	}
+	if b.len() != 2 {
+		t.Fatalf("len = %d, want 2", b.len())
+	}
+}
+
+func TestBucketSweepEvictsIdle(t *testing.T) {
+	b := newBuckets()
+	b.take("old", 1, 1, clockAt(0))
+	b.take("fresh", 1, 1, clockAt(bucketIdleTTL))
+	b.mu.Lock()
+	b.sweep(clockAt(bucketIdleTTL + time.Second))
+	b.mu.Unlock()
+	if b.len() != 1 {
+		t.Fatalf("len = %d after sweep, want 1 (only the fresh bucket)", b.len())
+	}
+	b.mu.Lock()
+	if len(b.entries) != 1 || b.entries[0].key != "fresh" {
+		t.Fatalf("entries = %v, want just the fresh bucket", b.entries)
+	}
+	b.mu.Unlock()
+}
+
+func TestBucketSweepTriggersOnTakeCount(t *testing.T) {
+	b := newBuckets()
+	b.take("idle", 1000, 1000, clockAt(0))
+	// gcEvery-1 more takes from a live key push the counter over the
+	// sweep threshold at a timestamp where the idle bucket has expired.
+	for i := 1; i < gcEvery; i++ {
+		b.take("live", 1000, 1000, clockAt(bucketIdleTTL+time.Minute))
+	}
+	if b.len() != 1 {
+		t.Fatalf("len = %d after %d takes, want 1 (idle bucket swept)", b.len(), gcEvery)
+	}
+}

@@ -1,0 +1,130 @@
+package admission
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/netip"
+	"testing"
+)
+
+// FuzzPolicyParse hammers the strict policy parser and the compiler:
+// arbitrary bytes must never panic, and any document that parses AND
+// compiles must round-trip — re-marshaling the compiled table's source
+// yields a document that parses and compiles again. The parser is the
+// admin-route attack surface (POST /v2/admin/policy takes the raw
+// body), so "never panics" is a serving-availability property.
+func FuzzPolicyParse(f *testing.F) {
+	f.Add([]byte(`{}`))
+	f.Add([]byte(`{"default_action":"deny","rate":2.5,"burst":4,"max_concurrent":8,
+		"max_queue_wait":"250ms","retry_after":"2s","class_header":"X-Class",
+		"identity_header":"X-API-Key","default_class":"gold",
+		"classes":[{"name":"gold","queue":8},{"name":"bulk"}],
+		"rules":[{"cidr":"10.0.0.0/8","action":"deny"},
+			{"cidr":"2001:db8::/32","class":"bulk"},
+			{"cidr":"::ffff:192.0.2.0/120","action":"allow"}]}`))
+	f.Add([]byte(`{"rate":-1}`))
+	f.Add([]byte(`{"rules":[{"cidr":"not-a-cidr"}]}`))
+	f.Add([]byte(`{} {}`))
+	f.Add([]byte(`[1,2,3]`))
+	f.Add([]byte("\x00\xff"))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		pol, err := ParsePolicy(data)
+		if err != nil {
+			return
+		}
+		tab, err := pol.Compile()
+		if err != nil {
+			return
+		}
+		src := tab.Source()
+		again, err := json.Marshal(&src)
+		if err != nil {
+			t.Fatalf("compiled policy does not re-marshal: %v", err)
+		}
+		pol2, err := ParsePolicy(again)
+		if err != nil {
+			t.Fatalf("round-tripped policy does not re-parse: %v\n%s", err, again)
+		}
+		if _, err := pol2.Compile(); err != nil {
+			t.Fatalf("round-tripped policy does not re-compile: %v\n%s", err, again)
+		}
+	})
+}
+
+// FuzzTrieLookup decodes rule sets and a probe address from raw bytes
+// and cross-checks the LPM trie against the naive linear-scan oracle
+// (longest prefix wins; among equal prefixes the later rule wins) for
+// both IPv4 and IPv6.
+func FuzzTrieLookup(f *testing.F) {
+	f.Add([]byte{1, 0, 10, 0, 0, 0, 8, 10, 0, 0, 1})
+	f.Add([]byte{2, 0, 192, 0, 2, 0, 24, 1, 0x20, 0x01, 0x0d, 0xb8, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 32})
+	f.Add([]byte{3, 0, 0, 0, 0, 0, 0, 0, 10, 0, 0, 0, 8, 0, 10, 0, 0, 0, 8})
+	f.Add(bytes.Repeat([]byte{0xff}, 64))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) == 0 {
+			return
+		}
+		n := int(data[0]%8) + 1
+		data = data[1:]
+
+		var tr Trie
+		var rules []netip.Prefix
+		var values []trieValue
+		take := func(k int) ([]byte, bool) {
+			if len(data) < k {
+				return nil, false
+			}
+			b := data[:k]
+			data = data[k:]
+			return b, true
+		}
+		for i := 0; i < n; i++ {
+			flags, ok := take(1)
+			if !ok {
+				break
+			}
+			var pfx netip.Prefix
+			if flags[0]&1 == 0 {
+				b, ok := take(5)
+				if !ok {
+					break
+				}
+				pfx = netip.PrefixFrom(netip.AddrFrom4([4]byte(b[:4])), int(b[4]%33))
+			} else {
+				b, ok := take(17)
+				if !ok {
+					break
+				}
+				pfx = netip.PrefixFrom(netip.AddrFrom16([16]byte(b[:16])), int(b[16]%129))
+			}
+			pfx, err := normalizePrefix(pfx)
+			if err != nil {
+				t.Fatalf("normalizePrefix(%v): %v", pfx, err)
+			}
+			v := trieValue{action: Action(int(flags[0]>>1) % 2), class: i}
+			if err := tr.insert(pfx, v); err != nil {
+				t.Fatalf("insert(%s): %v", pfx, err)
+			}
+			rules = append(rules, pfx)
+			values = append(values, v)
+		}
+
+		var probe netip.Addr
+		if b, ok := take(16); ok {
+			probe = netip.AddrFrom16([16]byte(b))
+		} else if b, ok := take(4); ok {
+			probe = netip.AddrFrom4([4]byte(b))
+		} else {
+			return
+		}
+
+		got, gotOK := tr.lookup(probe)
+		want, wantOK := lookupOracle(rules, values, probe)
+		if gotOK != wantOK || (gotOK && got != want) {
+			t.Fatalf("lookup(%s) = %+v, %v; oracle says %+v, %v (rules %v)",
+				probe, got, gotOK, want, wantOK, rules)
+		}
+	})
+}

@@ -1,0 +1,336 @@
+package admission
+
+import (
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+)
+
+// newTestGate compiles pol and wraps inner (default: 200 "ok") with a
+// scripted clock pinned at clockAt(0).
+func newTestGate(t *testing.T, pol *Policy, inner http.Handler) *Gate {
+	t.Helper()
+	if inner == nil {
+		inner = http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			w.WriteHeader(http.StatusOK)
+			_, _ = w.Write([]byte("ok"))
+		})
+	}
+	g, err := New(inner, pol, Config{Now: func() time.Time { return clockAt(0) }})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+// The scheduler's shed policy, stepped synchronously: class 0 (gold)
+// outranks class 1 (bulk); a gold arrival whose queue is full
+// displaces the newest bulk waiter instead of being turned away, and
+// bulk is only shed on arrival when nothing below it exists.
+func TestSchedulerShedOrdering(t *testing.T) {
+	var s scheduler
+	now := clockAt(0)
+	const goldCap, bulkCap, maxConc = 1, 2, 1
+
+	// Occupy the single slot.
+	if w, d, shed := s.tryAdmit(0, goldCap, maxConc, now); w != nil || d != nil || shed {
+		t.Fatalf("first admit: got (%v, %v, %v), want immediate grant", w, d, shed)
+	}
+
+	b1, _, _ := s.tryAdmit(1, bulkCap, maxConc, now)
+	b2, _, _ := s.tryAdmit(1, bulkCap, maxConc, now)
+	if b1 == nil || b2 == nil {
+		t.Fatal("bulk waiters under the queue cap were not enqueued")
+	}
+
+	// A third bulk arrival finds its queue full with nothing below it:
+	// shed on arrival — bulk IS the lowest class present.
+	if w, d, shed := s.tryAdmit(1, bulkCap, maxConc, now); w != nil || d != nil || !shed {
+		t.Fatalf("bulk overflow: got (%v, %v, %v), want shed-on-arrival", w, d, shed)
+	}
+
+	g1, _, _ := s.tryAdmit(0, goldCap, maxConc, now)
+	if g1 == nil {
+		t.Fatal("gold waiter under the queue cap was not enqueued")
+	}
+
+	// Gold's queue is now full; the next gold arrival displaces the
+	// NEWEST bulk waiter (b2), never another gold.
+	g2, displaced, shed := s.tryAdmit(0, goldCap, maxConc, now)
+	if g2 == nil || shed {
+		t.Fatalf("gold overflow: got (%v, shed=%v), want displacement", g2, shed)
+	}
+	if displaced != b2 {
+		t.Fatalf("displaced = %p, want the newest bulk waiter b2 (%p)", displaced, b2)
+	}
+
+	// Releases promote oldest-first within the highest occupied class:
+	// g1, g2, then b1.
+	for i, want := range []*waiter{g1, g2, b1} {
+		if got := s.releaseLocked(maxConc); got != want {
+			t.Fatalf("release %d promoted %p, want %p", i, got, want)
+		}
+	}
+	if got := s.releaseLocked(maxConc); got != nil {
+		t.Fatalf("release of the drained scheduler promoted %p", got)
+	}
+	if s.running != 0 {
+		t.Fatalf("running = %d after full drain, want 0", s.running)
+	}
+}
+
+// After a reload shrinks max_concurrent, releases drain the excess
+// before any waiter is promoted again.
+func TestSchedulerReleaseAfterBudgetShrink(t *testing.T) {
+	var s scheduler
+	now := clockAt(0)
+	for i := 0; i < 3; i++ {
+		if w, _, shed := s.tryAdmit(0, 4, 3, now); w != nil || shed {
+			t.Fatalf("admit %d under budget 3 did not grant immediately", i)
+		}
+	}
+	w1, _, _ := s.tryAdmit(0, 4, 3, now)
+	if w1 == nil {
+		t.Fatal("fourth request was not queued")
+	}
+	// Budget shrinks 3 → 1: the first two releases must not promote.
+	if got := s.releaseLocked(1); got != nil {
+		t.Fatalf("release at running=3, max=1 promoted %p", got)
+	}
+	if got := s.releaseLocked(1); got != nil {
+		t.Fatalf("release at running=2, max=1 promoted %p", got)
+	}
+	if got := s.releaseLocked(1); got != w1 {
+		t.Fatalf("release at running=1, max=1 promoted %p, want %p", got, w1)
+	}
+	if s.running != 1 {
+		t.Fatalf("running = %d, want 1", s.running)
+	}
+}
+
+func TestSchedulerExpireRemovesWaiter(t *testing.T) {
+	var s scheduler
+	now := clockAt(0)
+	s.tryAdmit(0, 4, 1, now) // occupy
+	w1, _, _ := s.tryAdmit(0, 4, 1, now)
+	w2, _, _ := s.tryAdmit(0, 4, 1, now)
+	if !s.expireLocked(w1) {
+		t.Fatal("expire of a queued waiter reported already-done")
+	}
+	if s.expireLocked(w1) {
+		t.Fatal("second expire of the same waiter succeeded")
+	}
+	if got := s.releaseLocked(1); got != w2 {
+		t.Fatalf("release promoted %p, want w2 %p (w1 expired)", got, w2)
+	}
+	// A waiter that was already granted must refuse the expiry: the
+	// slot is held and has to be released, not abandoned.
+	if s.expireLocked(w2) {
+		t.Fatal("expire of a granted waiter succeeded; its slot would leak")
+	}
+}
+
+// admit honors the request context: a canceled request sheds instead
+// of holding its queue place forever.
+func TestAdmitCanceledContextSheds(t *testing.T) {
+	pol := &Policy{MaxConcurrent: 1}
+	g := newTestGate(t, pol, nil)
+	if out, _ := g.admit(context.Background(), 0, 4, 1); out != admitGranted {
+		t.Fatalf("first admit = %v, want granted", out)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	out, _ := g.admit(ctx, 0, 4, 1)
+	if out != admitShed {
+		t.Fatalf("admit with canceled ctx = %v, want shed", out)
+	}
+	g.release()
+	g.schedMu.Lock()
+	queued, running := g.sched.queuedLocked(), g.sched.running
+	g.schedMu.Unlock()
+	if queued != 0 || running != 0 {
+		t.Fatalf("queued=%d running=%d after drain, want 0/0", queued, running)
+	}
+}
+
+// A release races the releaser against waiters: the promoted waiter
+// gets admitGranted and MUST release in turn.
+func TestAdmitPromotionChain(t *testing.T) {
+	pol := &Policy{MaxConcurrent: 1, MaxQueueWait: "30s"}
+	g := newTestGate(t, pol, nil)
+	if out, _ := g.admit(context.Background(), 0, 8, 1); out != admitGranted {
+		t.Fatal("first admit not granted")
+	}
+	const waiters = 5
+	outcomes := make(chan admitOutcome, waiters)
+	var wg sync.WaitGroup
+	for i := 0; i < waiters; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			out, _ := g.admit(context.Background(), 0, 8, 1)
+			if out == admitGranted {
+				g.release()
+			}
+			outcomes <- out
+		}()
+	}
+	waitQueued(t, g, waiters)
+	g.release() // hand the slot down the chain
+	wg.Wait()
+	close(outcomes)
+	for out := range outcomes {
+		if out != admitGranted {
+			t.Fatalf("waiter outcome = %v, want granted", out)
+		}
+	}
+	g.schedMu.Lock()
+	running := g.sched.running
+	g.schedMu.Unlock()
+	if running != 0 {
+		t.Fatalf("running = %d after the chain drained, want 0", running)
+	}
+}
+
+// waitQueued blocks until n waiters sit in the gate's queues.
+func waitQueued(t *testing.T, g *Gate, n int) {
+	t.Helper()
+	deadline := time.NewTimer(5 * time.Second)
+	defer deadline.Stop()
+	tick := time.NewTicker(time.Millisecond)
+	defer tick.Stop()
+	for {
+		g.schedMu.Lock()
+		queued := g.sched.queuedLocked()
+		g.schedMu.Unlock()
+		if queued >= n {
+			return
+		}
+		select {
+		case <-deadline.C:
+			t.Fatalf("only %d of %d waiters queued before the deadline", queued, n)
+		case <-tick.C:
+		}
+	}
+}
+
+// Hot-reloading to a policy with the queue stage disabled flushes
+// every queued waiter as granted: nothing may block on a stage that no
+// longer exists, and none of them may be dropped.
+func TestSetPolicyDisablingQueueFlushesWaiters(t *testing.T) {
+	pol := &Policy{MaxConcurrent: 1, MaxQueueWait: "30s"}
+	g := newTestGate(t, pol, nil)
+	if out, _ := g.admit(context.Background(), 0, 8, 1); out != admitGranted {
+		t.Fatal("first admit not granted")
+	}
+	const waiters = 4
+	outcomes := make(chan admitOutcome, waiters)
+	var wg sync.WaitGroup
+	for i := 0; i < waiters; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			out, _ := g.admit(context.Background(), 0, 8, 1)
+			outcomes <- out
+		}()
+	}
+	waitQueued(t, g, waiters)
+	if err := g.SetPolicy(&Policy{}); err != nil {
+		t.Fatal(err)
+	}
+	wg.Wait()
+	close(outcomes)
+	for out := range outcomes {
+		if out != admitGranted {
+			t.Fatalf("flushed waiter outcome = %v, want granted", out)
+		}
+	}
+}
+
+// Every shed — on arrival, by displacement, or by expiry — lands in
+// the class counter and the shed-wait histogram; a request refused at
+// the door must be just as visible as one that queued first.
+func TestShedOnArrivalIsCounted(t *testing.T) {
+	pol := &Policy{MaxConcurrent: 1}
+	g := newTestGate(t, pol, nil)
+	if out, _ := g.admit(context.Background(), 0, 4, 1); out != admitGranted {
+		t.Fatal("first admit not granted")
+	}
+	defer g.release()
+	if out, _ := g.admit(context.Background(), 0, 0, 1); out != admitShed {
+		t.Fatal("zero-cap queue did not shed on arrival")
+	}
+	if got := g.classStatsFor(0).shed.Load(); got != 1 {
+		t.Fatalf("class shed counter = %d, want 1", got)
+	}
+	if snap := g.shedWait.Snapshot(); snap.Count != 1 {
+		t.Fatalf("shed histogram count = %d, want 1", snap.Count)
+	}
+}
+
+// Queue waits are bounded by max_queue_wait: with the budget exhausted
+// and no releases coming, a request sheds after its wait budget.
+func TestAdmitQueueWaitBudgetSheds(t *testing.T) {
+	pol := &Policy{MaxConcurrent: 1, MaxQueueWait: "1ms"} // floored to queueWaitFloor
+	g := newTestGate(t, pol, nil)
+	if out, _ := g.admit(context.Background(), 0, 4, 1); out != admitGranted {
+		t.Fatal("first admit not granted")
+	}
+	out, _ := g.admit(context.Background(), 0, 4, 1)
+	if out != admitShed {
+		t.Fatalf("admit past the wait budget = %v, want shed", out)
+	}
+	g.release()
+}
+
+// End-to-end over HTTP: the wrapped handler is reached at most
+// max_concurrent at a time, and overflow past the queues is a typed
+// 503.
+func TestGateConcurrencyBudgetOverHTTP(t *testing.T) {
+	release := make(chan struct{})
+	var mu sync.Mutex
+	inFlight, maxInFlight := 0, 0
+	inner := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		mu.Lock()
+		inFlight++
+		if inFlight > maxInFlight {
+			maxInFlight = inFlight
+		}
+		mu.Unlock()
+		<-release
+		mu.Lock()
+		inFlight--
+		mu.Unlock()
+		w.WriteHeader(http.StatusOK)
+	})
+	pol := &Policy{MaxConcurrent: 2, MaxQueueWait: "30s", Classes: []ClassSpec{{Name: "default", Queue: 8}}}
+	g := newTestGate(t, pol, inner)
+
+	const clients = 6
+	codes := make(chan int, clients)
+	var wg sync.WaitGroup
+	for i := 0; i < clients; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			rec := httptest.NewRecorder()
+			g.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/predict", nil))
+			codes <- rec.Code
+		}()
+	}
+	waitQueued(t, g, clients-2)
+	close(release)
+	wg.Wait()
+	close(codes)
+	for code := range codes {
+		if code != http.StatusOK {
+			t.Fatalf("status = %d, want 200 for every queued request", code)
+		}
+	}
+	if maxInFlight > 2 {
+		t.Fatalf("max in-flight = %d, want <= max_concurrent 2", maxInFlight)
+	}
+}

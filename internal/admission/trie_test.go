@@ -1,0 +1,161 @@
+package admission
+
+import (
+	"math/rand"
+	"net/netip"
+	"testing"
+)
+
+func mustPrefix(t *testing.T, s string) netip.Prefix {
+	t.Helper()
+	p, err := netip.ParsePrefix(s)
+	if err != nil {
+		t.Fatalf("ParsePrefix(%q): %v", s, err)
+	}
+	return p
+}
+
+func TestTrieLongestPrefixMatch(t *testing.T) {
+	var tr Trie
+	rules := []struct {
+		cidr  string
+		value trieValue
+	}{
+		{"0.0.0.0/0", trieValue{action: ActionAllow, class: 0}},
+		{"10.0.0.0/8", trieValue{action: ActionDeny, class: -1}},
+		{"10.1.0.0/16", trieValue{action: ActionAllow, class: 1}},
+		{"10.1.2.0/24", trieValue{action: ActionDeny, class: -1}},
+		{"192.0.2.128/25", trieValue{action: ActionAllow, class: 2}},
+		{"2001:db8::/32", trieValue{action: ActionDeny, class: -1}},
+		{"2001:db8:1::/48", trieValue{action: ActionAllow, class: 3}},
+		{"::ffff:203.0.113.0/120", trieValue{action: ActionDeny, class: -1}}, // 4-in-6 → v4 tree
+	}
+	for _, r := range rules {
+		if err := tr.insert(mustPrefix(t, r.cidr), r.value); err != nil {
+			t.Fatalf("insert(%s): %v", r.cidr, err)
+		}
+	}
+	if tr.Len() != len(rules) {
+		t.Fatalf("Len() = %d, want %d", tr.Len(), len(rules))
+	}
+
+	cases := []struct {
+		addr  string
+		want  trieValue
+		found bool
+	}{
+		{"8.8.8.8", trieValue{action: ActionAllow, class: 0}, true},         // only the /0
+		{"10.9.9.9", trieValue{action: ActionDeny, class: -1}, true},        // the /8
+		{"10.1.9.9", trieValue{action: ActionAllow, class: 1}, true},        // /16 beats /8
+		{"10.1.2.3", trieValue{action: ActionDeny, class: -1}, true},        // /24 beats /16
+		{"192.0.2.127", trieValue{action: ActionAllow, class: 0}, true},     // below the /25
+		{"192.0.2.200", trieValue{action: ActionAllow, class: 2}, true},     // inside the /25
+		{"2001:db8:2::1", trieValue{action: ActionDeny, class: -1}, true},   // the /32
+		{"2001:db8:1::1", trieValue{action: ActionAllow, class: 3}, true},   // /48 beats /32
+		{"2001:db9::1", trieValue{}, false},                                 // no v6 /0 rule
+		{"203.0.113.7", trieValue{action: ActionDeny, class: -1}, true},     // via the lowered 4-in-6 rule
+		{"::ffff:10.1.2.3", trieValue{action: ActionDeny, class: -1}, true}, // mapped addr hits the v4 tree
+	}
+	for _, c := range cases {
+		got, ok := tr.lookup(netip.MustParseAddr(c.addr))
+		if ok != c.found || got != c.want {
+			t.Errorf("lookup(%s) = %+v, %v; want %+v, %v", c.addr, got, ok, c.want, c.found)
+		}
+	}
+}
+
+func TestTrieDuplicatePrefixLaterWins(t *testing.T) {
+	var tr Trie
+	p := mustPrefix(t, "10.0.0.0/8")
+	if err := tr.insert(p, trieValue{action: ActionAllow, class: 1}); err != nil {
+		t.Fatal(err)
+	}
+	// The same prefix spelled differently (unmasked, and 4-in-6) must
+	// land on the same node.
+	if err := tr.insert(mustPrefix(t, "10.200.0.0/8"), trieValue{action: ActionDeny, class: -1}); err != nil {
+		t.Fatal(err)
+	}
+	if tr.Len() != 1 {
+		t.Fatalf("Len() = %d after duplicate insert, want 1", tr.Len())
+	}
+	got, ok := tr.lookup(netip.MustParseAddr("10.1.2.3"))
+	if !ok || got.action != ActionDeny {
+		t.Fatalf("lookup = %+v, %v; want the later deny rule", got, ok)
+	}
+}
+
+func TestTrieEmptyAndInvalid(t *testing.T) {
+	var tr Trie
+	if _, ok := tr.lookup(netip.MustParseAddr("10.0.0.1")); ok {
+		t.Fatal("empty trie matched")
+	}
+	if _, ok := tr.lookup(netip.Addr{}); ok {
+		t.Fatal("invalid addr matched")
+	}
+}
+
+// lookupOracle is the naive linear scan the trie must agree with:
+// later rules override earlier ones at equal specificity, longer
+// prefixes win. The fuzz target uses the same oracle.
+func lookupOracle(rules []netip.Prefix, values []trieValue, a netip.Addr) (trieValue, bool) {
+	a = a.Unmap()
+	var best trieValue
+	bestBits, found := -1, false
+	for i, p := range rules {
+		if p.Contains(a) && p.Bits() >= bestBits {
+			best, bestBits, found = values[i], p.Bits(), true
+		}
+	}
+	return best, found
+}
+
+func TestTrieAgainstOracleRandomized(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 200; trial++ {
+		var tr Trie
+		n := 1 + rng.Intn(12)
+		rules := make([]netip.Prefix, 0, n)
+		values := make([]trieValue, 0, n)
+		for i := 0; i < n; i++ {
+			var p netip.Prefix
+			if rng.Intn(2) == 0 {
+				var b [4]byte
+				rng.Read(b[:])
+				// Small bit counts make collisions and nesting likely.
+				p = netip.PrefixFrom(netip.AddrFrom4(b), rng.Intn(33))
+			} else {
+				var b [16]byte
+				rng.Read(b[:])
+				p = netip.PrefixFrom(netip.AddrFrom16(b), rng.Intn(129))
+			}
+			p, err := normalizePrefix(p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			v := trieValue{action: Action(i % 2), class: i}
+			if err := tr.insert(p, v); err != nil {
+				t.Fatalf("insert(%s): %v", p, err)
+			}
+			rules = append(rules, p)
+			values = append(values, v)
+		}
+		for probe := 0; probe < 64; probe++ {
+			var a netip.Addr
+			if rng.Intn(2) == 0 {
+				var b [4]byte
+				rng.Read(b[:])
+				a = netip.AddrFrom4(b)
+			} else {
+				var b [16]byte
+				rng.Read(b[:])
+				a = netip.AddrFrom16(b)
+			}
+			got, gotOK := tr.lookup(a)
+			want, wantOK := lookupOracle(rules, values, a)
+			if gotOK != wantOK || (gotOK && got != want) {
+				t.Fatalf("trial %d: lookup(%s) = %+v, %v; oracle says %+v, %v (rules %v)",
+					trial, a, got, gotOK, want, wantOK, rules)
+			}
+		}
+	}
+}

@@ -8,8 +8,13 @@ import (
 // DetPath guards the bit-reproducibility contract (DESIGN.md §8, §11):
 // the frame-producing packages — tensor, nn, autodiff, and the mpi
 // send paths — must be pure functions of their inputs, so rollouts are
-// bit-identical across transports, exchange modes, and reruns. Three
-// classic divergence sources are banned outright:
+// bit-identical across transports, exchange modes, and reruns. The
+// admission package rides along for a different reason: its
+// token-bucket and Retry-After arithmetic must be a pure function of
+// an injected clock (Config.Now) so refill behaviour is
+// deterministically testable — a stray time.Now() there is a bug the
+// same way it is in a frame producer. Three classic divergence
+// sources are banned outright:
 //
 //   - wall-clock reads (time.Now, time.Since): anything derived from
 //     them differs between ranks and between runs;
@@ -25,7 +30,7 @@ import (
 var DetPath = &Analyzer{
 	Name:  "detpath",
 	Doc:   "no wall-clock, global RNG, or map-iteration nondeterminism in the frame-producing packages",
-	Match: matchPackages("internal/tensor", "internal/nn", "internal/autodiff", "internal/mpi"),
+	Match: matchPackages("internal/tensor", "internal/nn", "internal/autodiff", "internal/mpi", "internal/admission"),
 	Run:   runDetPath,
 }
 

@@ -8,8 +8,9 @@ import (
 
 // GoroutineLife enforces the goroutine-lifecycle discipline the PR 3
 // request-leak audit checked by hand: every `go` statement in the
-// runtime packages (core, mpi, serve, router) must be tied to a visible
-// drain/Close lifecycle, so Close can always reap what Run spawned.
+// runtime packages (core, mpi, serve, router, admission) must be tied
+// to a visible drain/Close lifecycle, so Close can always reap what
+// Run spawned.
 // A spawn is accepted when any of these holds:
 //
 //   - the spawning function calls WaitGroup.Add before the `go`
@@ -26,7 +27,7 @@ import (
 var GoroutineLife = &Analyzer{
 	Name:  "goroutinelife",
 	Doc:   "go statements in the runtime packages are tied to a WaitGroup or close(done) lifecycle",
-	Match: matchPackages("internal/core", "internal/mpi", "internal/serve", "internal/router"),
+	Match: matchPackages("internal/core", "internal/mpi", "internal/serve", "internal/router", "internal/admission"),
 	Run:   runGoroutineLife,
 }
 

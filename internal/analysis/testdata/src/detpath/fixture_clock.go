@@ -1,0 +1,48 @@
+// fixture_clock.go exercises detpath against the injected-clock idiom
+// the admission package uses: holding a `func() time.Time` field whose
+// default VALUE is time.Now is legal (no CallExpr), calling the field
+// is legal, but calling time.Now directly is not. This is the line the
+// analyzer draws so token-bucket refill stays a pure function of the
+// injected timestamps.
+package fixture
+
+import "time"
+
+type gate struct {
+	now func() time.Time
+}
+
+func newGate(now func() time.Time) *gate {
+	if now == nil {
+		now = time.Now // negative: a value reference, not a clock read
+	}
+	return &gate{now: now}
+}
+
+func (g *gate) refill(last time.Time, rate float64) float64 {
+	return g.now().Sub(last).Seconds() * rate // negative: the injected clock
+}
+
+func (g *gate) refillWrong(last time.Time, rate float64) float64 {
+	return time.Now().Sub(last).Seconds() * rate // want `wall-clock read`
+}
+
+func (g *gate) idleWrong(last time.Time) bool {
+	return time.Since(last) > 5*time.Minute // want `wall-clock read`
+}
+
+func bucketSweep(entries []string, m map[string]int) int {
+	n := 0
+	for _, k := range entries { // negative: the slice mirror, not the map
+		n += m[k]
+	}
+	return n
+}
+
+func bucketSweepWrong(m map[string]int) int {
+	n := 0
+	for _, v := range m { // want `map iteration`
+		n += v
+	}
+	return n
+}

@@ -46,6 +46,7 @@ import (
 	"hash/fnv"
 	"io"
 	"log"
+	"net"
 	"net/http"
 	"strings"
 	"sync"
@@ -519,6 +520,14 @@ func (rt *Router) forward(w http.ResponseWriter, r *http.Request, rep *replica, 
 		return 0, err
 	}
 	copyHeader(out.Header, r.Header, "Content-Type", "Accept", serve.RequestIDHeader)
+	// The router is the trust edge: OVERWRITE X-Forwarded-For with the
+	// connection's own peer address (never append to the inbound value,
+	// which a client could seed) so a replica running admission with
+	// -policy-xff applies its CIDR and rate policy to the real client,
+	// not to the router's address.
+	if host, _, err := net.SplitHostPort(r.RemoteAddr); err == nil {
+		out.Header.Set("X-Forwarded-For", host)
+	}
 	resp, err := rt.client.Do(out)
 	if err != nil {
 		return 0, err

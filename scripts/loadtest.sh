@@ -12,6 +12,18 @@
 # payload is a synthetic deterministic state, which is fine for
 # throughput measurement (the engine does identical work for any
 # values).
+#
+# Modes (LOADTEST_MODE env):
+#   strict   (default) any non-2xx or transport error is a failure and
+#            the script exits 1 — the right contract when nothing
+#            should be refused.
+#   overload the admission-control contract (DESIGN.md §15): 2xx, 429
+#            (rate_limited) and 503 (overloaded) are each counted and
+#            reported separately as deliberate, typed outcomes; only
+#            other statuses and transport errors fail the run.
+#
+# LOADTEST_HEADER optionally adds one extra request header (e.g.
+# "X-Class: bulk") so admission classes can be exercised per run.
 set -euo pipefail
 
 BASE="${1:?usage: loadtest.sh BASE_URL [CONCURRENCY] [SECONDS] [C H W]}"
@@ -20,6 +32,13 @@ SECONDS_RUN="${3:-10}"
 C="${4:-4}"
 H="${5:-128}"
 W="${6:-128}"
+MODE="${LOADTEST_MODE:-strict}"
+EXTRA_HEADER="${LOADTEST_HEADER:-}"
+
+case "$MODE" in
+	strict|overload) ;;
+	*) echo "loadtest: unknown LOADTEST_MODE '$MODE' (want strict or overload)"; exit 2 ;;
+esac
 
 TMP="$(mktemp -d)"
 trap 'rm -rf "$TMP"' EXIT
@@ -35,37 +54,49 @@ EOF
 
 curl -fsS "$BASE/healthz" >/dev/null || { echo "server at $BASE not healthy"; exit 1; }
 
-echo "loadtest: $WORKERS workers × ${SECONDS_RUN}s against $BASE (state ${C}x${H}x${W})"
+CURL_ARGS=(-sS -o /dev/null -X POST -H 'Content-Type: application/json')
+if [ -n "$EXTRA_HEADER" ]; then
+	CURL_ARGS+=(-H "$EXTRA_HEADER")
+fi
+
+echo "loadtest: $WORKERS workers × ${SECONDS_RUN}s against $BASE (state ${C}x${H}x${W}, mode $MODE)"
 END=$(( $(date +%s) + SECONDS_RUN ))
 for i in $(seq 1 "$WORKERS"); do
 	(
 		ok=0
+		limited=0
+		shed=0
 		fail=0
 		while [ "$(date +%s)" -lt "$END" ]; do
-			# -f turns HTTP >= 400 into a curl failure, so both transport
-			# errors and non-200 responses land in the failure count.
-			if curl -fsS -o /dev/null -X POST -H 'Content-Type: application/json' \
-				--data-binary @"$TMP/req.json" "$BASE/v1/predict"; then
-				ok=$((ok + 1))
-			else
-				fail=$((fail + 1))
-			fi
+			# -w %{http_code} lets overload mode tell typed refusals
+			# (429/503) apart from real failures; a transport error
+			# yields 000.
+			code="$(curl "${CURL_ARGS[@]}" -w '%{http_code}' \
+				--data-binary @"$TMP/req.json" "$BASE/v1/predict" 2>/dev/null || true)"
+			case "$code" in
+				2??) ok=$((ok + 1)) ;;
+				429) [ "$MODE" = overload ] && limited=$((limited + 1)) || fail=$((fail + 1)) ;;
+				503) [ "$MODE" = overload ] && shed=$((shed + 1)) || fail=$((fail + 1)) ;;
+				*) fail=$((fail + 1)) ;;
+			esac
 		done
-		echo "$ok" >"$TMP/count_$i"
-		echo "$fail" >"$TMP/fail_$i"
+		echo "$ok $limited $shed $fail" >"$TMP/counts_$i"
 	) &
 done
 wait
 
-TOTAL=0
-FAILED=0
-for f in "$TMP"/count_*; do
-	TOTAL=$((TOTAL + $(cat "$f")))
+TOTAL=0; OK=0; LIMITED=0; SHED=0; FAILED=0
+for f in "$TMP"/counts_*; do
+	read -r ok limited shed fail <"$f"
+	OK=$((OK + ok)); LIMITED=$((LIMITED + limited)); SHED=$((SHED + shed)); FAILED=$((FAILED + fail))
 done
-for f in "$TMP"/fail_*; do
-	FAILED=$((FAILED + $(cat "$f")))
-done
-echo "loadtest: $TOTAL requests in ${SECONDS_RUN}s = $(python3 -c "print(f'{$TOTAL/$SECONDS_RUN:.1f}')") req/s, $FAILED failed"
+TOTAL=$((OK + LIMITED + SHED + FAILED))
+
+if [ "$MODE" = overload ]; then
+	echo "loadtest: $TOTAL requests in ${SECONDS_RUN}s = $(python3 -c "print(f'{$TOTAL/$SECONDS_RUN:.1f}')") req/s: $OK ok (2xx), $LIMITED rate-limited (429), $SHED shed (503), $FAILED failed"
+else
+	echo "loadtest: $TOTAL requests in ${SECONDS_RUN}s = $(python3 -c "print(f'{$TOTAL/$SECONDS_RUN:.1f}')") req/s, $FAILED failed"
+fi
 if [ "$FAILED" -gt 0 ]; then
 	echo "loadtest: FAIL: $FAILED request(s) failed"
 	exit 1
